@@ -1,0 +1,252 @@
+(* Benchmark harness.
+
+   Two halves:
+
+   1. Regeneration: prints the rows/series of every figure and experiment
+      indexed in DESIGN.md (Figure 2a, Figure 2b, Figure 1, E1-E4), at
+      reduced trial counts so the whole run finishes in about a minute.
+      `dune exec bin/pimsim.exe -- <experiment> --trials N` reproduces any
+      of them at paper scale.
+
+   2. Timing: one Bechamel micro/meso-benchmark per experiment id —
+      fig2a and fig2b single trials, the Figure 1 simulation, one
+      overhead point — plus micro-benchmarks of the underlying machinery
+      (Dijkstra, event queue, FIB matching, join processing). *)
+
+open Bechamel
+open Toolkit
+
+let seed = 1994
+
+(* {1 Regeneration} *)
+
+let regenerate () =
+  Format.printf "================================================================@.";
+  Format.printf "Paper series regeneration (reduced trials; see EXPERIMENTS.md)@.";
+  Format.printf "================================================================@.@.";
+  Format.printf "%a@." Pim_exp.Fig2a.pp_rows (Pim_exp.Fig2a.run ~trials:200 ~seed ());
+  Format.printf "%a@." Pim_exp.Fig2b.pp_rows (Pim_exp.Fig2b.run ~trials:10 ~seed ());
+  Format.printf "%a@." Pim_exp.Fig1.pp_results (Pim_exp.Fig1.run ());
+  Format.printf "%a@." Pim_exp.Overhead.pp_rows (Pim_exp.Overhead.run ~seed ());
+  Format.printf "%a@." Pim_exp.Failover.pp_rows (Pim_exp.Failover.run ~seed ());
+  Format.printf "%a@." Pim_exp.Ablation.pp_policy_rows (Pim_exp.Ablation.run_spt_policy ~seed ());
+  Format.printf "%a@." Pim_exp.Ablation.pp_refresh_rows (Pim_exp.Ablation.run_refresh ~seed ());
+  Format.printf "%a@." Pim_exp.Groups_scaling.pp_rows
+    (Pim_exp.Groups_scaling.run ~group_counts:[ 10; 40; 120 ] ~seed ());
+  Format.printf "%a@." Pim_exp.Aggregation.pp_rows (Pim_exp.Aggregation.run ~seed ());
+  Format.printf "%a@." Pim_exp.Churn.pp_rows (Pim_exp.Churn.run ~seed ());
+  Format.printf "%a@." Pim_exp.Loss.pp_rows (Pim_exp.Loss.run ~seed ())
+
+(* {1 Benchmark subjects} *)
+
+(* One Figure 2(a) trial: generate a 50-node graph, place a 10-member
+   group, find the optimal core and both max delays. *)
+let bench_fig2a =
+  let prng = Pim_util.Prng.create seed in
+  Test.make ~name:"fig2a-trial"
+    (Staged.stage (fun () ->
+         let topo = Pim_graph.Random_graph.generate ~prng ~nodes:50 ~degree:4. () in
+         let members = Pim_graph.Random_graph.pick_members ~prng ~nodes:50 ~count:10 in
+         let apsp = Pim_graph.Spt.all_pairs topo in
+         let spt = Pim_graph.Center.spt_max_delay apsp ~senders:members ~receivers:members in
+         let _, cbt = Pim_graph.Center.optimal apsp ~senders:members ~receivers:members in
+         Sys.opaque_identity (spt, cbt)))
+
+(* One Figure 2(b) network: 300 groups of 40 members, flows per link under
+   both tree types. *)
+let bench_fig2b =
+  Test.make ~name:"fig2b-network"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (Pim_exp.Fig2b.run ~trials:1 ~degrees:[ 4. ] ~seed ())))
+
+(* The full Figure 1 scenario (all five protocols in the simulator). *)
+let bench_fig1 =
+  Test.make ~name:"fig1-scenario"
+    (Staged.stage (fun () -> Sys.opaque_identity (Pim_exp.Fig1.run ~packets:10 ())))
+
+(* One E1 overhead point (all six protocol rows at one density). *)
+let bench_overhead_point =
+  Test.make ~name:"e1-overhead-point"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (Pim_exp.Overhead.run ~nodes:30 ~packets:10 ~fractions:[ 0.2 ] ~seed ())))
+
+(* E2: one failover run. *)
+let bench_failover =
+  Test.make ~name:"e2-failover-run"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity (Pim_exp.Failover.run ~timeouts:[ 5. ] ~seed ())))
+
+(* E3: the three-policy ablation. *)
+let bench_ablation =
+  Test.make ~name:"e3-policy-ablation"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity (Pim_exp.Ablation.run_spt_policy ~nodes:20 ~seed ())))
+
+(* E5: one group-count point (four protocols, 20 groups). *)
+let bench_groups_point =
+  Test.make ~name:"e5-groups-point"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (Pim_exp.Groups_scaling.run ~nodes:30 ~group_counts:[ 20 ] ~seed ())))
+
+(* E4: one refresh-period run. *)
+let bench_refresh =
+  Test.make ~name:"e4-refresh-run"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity (Pim_exp.Ablation.run_refresh ~periods:[ 4. ] ~seed ())))
+
+(* {2 Micro-benchmarks of the substrate} *)
+
+let fixed_topo =
+  let prng = Pim_util.Prng.create 42 in
+  Pim_graph.Random_graph.generate ~prng ~nodes:50 ~degree:4. ()
+
+let bench_dijkstra =
+  Test.make ~name:"dijkstra-50n"
+    (Staged.stage (fun () -> Sys.opaque_identity (Pim_graph.Spt.single_source fixed_topo 0)))
+
+let bench_all_pairs =
+  Test.make ~name:"all-pairs-50n"
+    (Staged.stage (fun () -> Sys.opaque_identity (Pim_graph.Spt.all_pairs fixed_topo)))
+
+let bench_event_queue =
+  Test.make ~name:"engine-1k-events"
+    (Staged.stage (fun () ->
+         let eng = Pim_sim.Engine.create () in
+         for i = 1 to 1000 do
+           ignore (Pim_sim.Engine.schedule eng ~after:(float_of_int (i mod 97)) (fun () -> ()))
+         done;
+         Pim_sim.Engine.run eng;
+         Sys.opaque_identity eng))
+
+let bench_fib_match =
+  let fib = Pim_mcast.Fwd.create () in
+  let g = Pim_net.Group.of_index 7 in
+  let rp = Pim_net.Addr.router 1 in
+  for i = 0 to 63 do
+    let gi = Pim_net.Group.of_index i in
+    Pim_mcast.Fwd.insert fib (Pim_mcast.Fwd.make_star ~group:gi ~rp ~iif:None ~expires:1.);
+    Pim_mcast.Fwd.insert fib
+      (Pim_mcast.Fwd.make_sg ~group:gi ~source:(Pim_net.Addr.host ~router:i 1) ~iif:None
+         ~expires:1. ())
+  done;
+  let src = Pim_net.Addr.host ~router:7 1 in
+  Test.make ~name:"fib-match-128-entries"
+    (Staged.stage (fun () -> Sys.opaque_identity (Pim_mcast.Fwd.match_data fib g ~src)))
+
+let bench_join_processing =
+  (* Time a complete shared-tree setup: 1 join propagating over 5 hops. *)
+  Test.make ~name:"pim-join-propagation"
+    (Staged.stage (fun () ->
+         let topo = Pim_graph.Classic.line 6 in
+         let eng = Pim_sim.Engine.create () in
+         let net = Pim_sim.Net.create eng topo in
+         let g = Pim_net.Group.of_index 1 in
+         let rp_set = Pim_core.Rp_set.single g (Pim_net.Addr.router 0) in
+         let dep = Pim_core.Deployment.create_static ~config:Pim_core.Config.fast net ~rp_set in
+         Pim_core.Router.join_local (Pim_core.Deployment.router dep 5) g;
+         Pim_sim.Engine.run ~until:8. eng;
+         Sys.opaque_identity dep))
+
+(* Simulator throughput at scale: a 100-router / 40-group / 400-packet
+   PIM simulation, measured end to end. *)
+let bench_scale =
+  Test.make ~name:"pim-100n-40g-soak"
+    (Staged.stage (fun () ->
+         let prng = Pim_util.Prng.create 7 in
+         let topo = Pim_graph.Random_graph.generate ~prng ~nodes:100 ~degree:4. () in
+         let eng = Pim_sim.Engine.create () in
+         let net = Pim_sim.Net.create eng topo in
+         let workloads =
+           List.init 40 (fun k ->
+               ( Pim_net.Group.of_index (k + 1),
+                 Pim_graph.Random_graph.pick_members ~prng ~nodes:100 ~count:4,
+                 Pim_util.Prng.int prng 100 ))
+         in
+         let rp_set =
+           Pim_core.Rp_set.of_list
+             (List.map
+                (fun (g, members, _) -> (g, [ Pim_net.Addr.router (List.hd members) ]))
+                workloads)
+         in
+         let dep = Pim_core.Deployment.create_static ~config:Pim_core.Config.fast net ~rp_set in
+         List.iter
+           (fun (g, members, _) ->
+             List.iter
+               (fun m -> Pim_core.Router.join_local (Pim_core.Deployment.router dep m) g)
+               members)
+           workloads;
+         Pim_sim.Engine.run ~until:15. eng;
+         List.iter
+           (fun (g, _, source) ->
+             for i = 0 to 9 do
+               ignore
+                 (Pim_sim.Engine.schedule_at eng
+                    (15. +. float_of_int i)
+                    (fun () ->
+                      Pim_core.Router.send_local_data (Pim_core.Deployment.router dep source)
+                        ~group:g ()))
+             done)
+           workloads;
+         Pim_sim.Engine.run ~until:40. eng;
+         Sys.opaque_identity dep))
+
+let bench_prng =
+  let prng = Pim_util.Prng.create 1 in
+  Test.make ~name:"prng-int" (Staged.stage (fun () -> Sys.opaque_identity (Pim_util.Prng.int prng 1000)))
+
+(* {1 Bechamel driver} *)
+
+let run_benchmarks () =
+  let tests =
+    Test.make_grouped ~name:"pim" ~fmt:"%s/%s"
+      [
+        bench_fig2a;
+        bench_fig2b;
+        bench_fig1;
+        bench_overhead_point;
+        bench_failover;
+        bench_ablation;
+        bench_refresh;
+        bench_groups_point;
+        bench_dijkstra;
+        bench_all_pairs;
+        bench_event_queue;
+        bench_fib_match;
+        bench_join_processing;
+        bench_scale;
+        bench_prng;
+      ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~stabilize:true () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Format.printf "================================================================@.";
+  Format.printf "Bechamel timings (one Test.make per experiment id + micro)@.";
+  Format.printf "================================================================@.";
+  Format.printf "# %-28s %16s@." "benchmark" "time/run";
+  let rows =
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns ] ->
+        let pretty =
+          if ns > 1e9 then Printf.sprintf "%8.3f  s" (ns /. 1e9)
+          else if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
+          else if ns > 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
+          else Printf.sprintf "%8.1f ns" ns
+        in
+        Format.printf "  %-28s %16s@." name pretty
+      | _ -> Format.printf "  %-28s %16s@." name "n/a")
+    rows
+
+let () =
+  regenerate ();
+  run_benchmarks ()

@@ -1,0 +1,156 @@
+(* pimsim: regenerate every figure/table of the PIM SIGCOMM'94 paper and
+   the supplementary experiments indexed in DESIGN.md. *)
+
+open Cmdliner
+
+let seed_arg =
+  let doc = "PRNG seed (runs are fully deterministic per seed)." in
+  Arg.(value & opt int 1994 & info [ "seed" ] ~doc)
+
+let trials_arg default =
+  let doc = "Random networks per node degree." in
+  Arg.(value & opt int default & info [ "trials" ] ~doc)
+
+let nodes_arg =
+  let doc = "Routers per random network." in
+  Arg.(value & opt int 50 & info [ "nodes" ] ~doc)
+
+let fig2a_cmd =
+  let run seed trials nodes members =
+    let rows = Pim_exp.Fig2a.run ~nodes ~members ~trials ~seed () in
+    Format.printf "%a" Pim_exp.Fig2a.pp_rows rows
+  in
+  let members =
+    Arg.(value & opt int 10 & info [ "members" ] ~doc:"Group size.")
+  in
+  Cmd.v
+    (Cmd.info "fig2a" ~doc:"Figure 2(a): CBT/SPT maximum-delay ratio vs node degree.")
+    Term.(const run $ seed_arg $ trials_arg 500 $ nodes_arg $ members)
+
+let fig2b_cmd =
+  let run seed trials nodes groups members senders =
+    let rows = Pim_exp.Fig2b.run ~nodes ~groups ~members ~senders ~trials ~seed () in
+    Format.printf "%a" Pim_exp.Fig2b.pp_rows rows
+  in
+  let groups = Arg.(value & opt int 300 & info [ "groups" ] ~doc:"Active groups per network.") in
+  let members = Arg.(value & opt int 40 & info [ "members" ] ~doc:"Members per group.") in
+  let senders = Arg.(value & opt int 32 & info [ "senders" ] ~doc:"Senders per group (subset of members).") in
+  Cmd.v
+    (Cmd.info "fig2b" ~doc:"Figure 2(b): maximum traffic flows on any link, SPT vs center-based tree.")
+    Term.(const run $ seed_arg $ trials_arg 30 $ nodes_arg $ groups $ members $ senders)
+
+let fig1_cmd =
+  let run packets =
+    let rows = Pim_exp.Fig1.run ~packets () in
+    Format.printf "%a" Pim_exp.Fig1.pp_results rows
+  in
+  let packets = Arg.(value & opt int 40 & info [ "packets" ] ~doc:"Data packets to send.") in
+  Cmd.v
+    (Cmd.info "fig1" ~doc:"Figure 1: three-domain scenario under DVMRP, PIM-DM, PIM-SM and CBT.")
+    Term.(const run $ packets)
+
+let overhead_cmd =
+  let run seed nodes packets =
+    let rows = Pim_exp.Overhead.run ~nodes ~packets ~seed () in
+    Format.printf "%a" Pim_exp.Overhead.pp_rows rows
+  in
+  let packets = Arg.(value & opt int 30 & info [ "packets" ] ~doc:"Data packets to send.") in
+  Cmd.v
+    (Cmd.info "overhead" ~doc:"E1: overhead vs membership density across all protocols.")
+    Term.(const run $ seed_arg $ nodes_arg $ packets)
+
+let failover_cmd =
+  let run seed =
+    let rows = Pim_exp.Failover.run ~seed () in
+    Format.printf "%a" Pim_exp.Failover.pp_rows rows
+  in
+  Cmd.v
+    (Cmd.info "failover" ~doc:"E2: RP crash and receiver failover latency (section 3.9).")
+    Term.(const run $ seed_arg)
+
+let ablation_cmd =
+  let run seed =
+    let rows = Pim_exp.Ablation.run_spt_policy ~seed () in
+    Format.printf "%a" Pim_exp.Ablation.pp_policy_rows rows
+  in
+  Cmd.v
+    (Cmd.info "ablation" ~doc:"E3: shared-tree vs SPT vs threshold DR policy (section 3.3).")
+    Term.(const run $ seed_arg)
+
+let refresh_cmd =
+  let run seed =
+    let rows = Pim_exp.Ablation.run_refresh ~seed () in
+    Format.printf "%a" Pim_exp.Ablation.pp_refresh_rows rows
+  in
+  Cmd.v
+    (Cmd.info "refresh" ~doc:"E4: soft-state refresh period ablation (footnote 4).")
+    Term.(const run $ seed_arg)
+
+let groups_cmd =
+  let run seed counts =
+    let rows = Pim_exp.Groups_scaling.run ~group_counts:counts ~seed () in
+    Format.printf "%a" Pim_exp.Groups_scaling.pp_rows rows
+  in
+  let counts =
+    Arg.(value & opt (list int) [ 10; 40; 120 ]
+         & info [ "counts" ] ~doc:"Group counts to sweep.")
+  in
+  Cmd.v
+    (Cmd.info "groups" ~doc:"E5: overhead scaling with the number of sparse groups.")
+    Term.(const run $ seed_arg $ counts)
+
+let aggregation_cmd =
+  let run seed =
+    let rows = Pim_exp.Aggregation.run ~seed () in
+    Format.printf "%a" Pim_exp.Aggregation.pp_rows rows
+  in
+  Cmd.v
+    (Cmd.info "aggregation" ~doc:"E6: source aggregation in PIM messages (section 4).")
+    Term.(const run $ seed_arg)
+
+let churn_cmd =
+  let run seed =
+    let rows = Pim_exp.Churn.run ~seed () in
+    Format.printf "%a" Pim_exp.Churn.pp_rows rows
+  in
+  Cmd.v
+    (Cmd.info "churn" ~doc:"E7: dynamic groups — join latency and overhead under membership churn.")
+    Term.(const run $ seed_arg)
+
+let loss_cmd =
+  let run seed =
+    let rows = Pim_exp.Loss.run ~seed () in
+    Format.printf "%a" Pim_exp.Loss.pp_rows rows
+  in
+  Cmd.v
+    (Cmd.info "loss" ~doc:"E8: robustness to control-message loss (footnote 4).")
+    Term.(const run $ seed_arg)
+
+let all_cmd =
+  let run seed =
+    Format.printf "%a@." Pim_exp.Fig2a.pp_rows (Pim_exp.Fig2a.run ~trials:100 ~seed ());
+    Format.printf "%a@." Pim_exp.Fig2b.pp_rows (Pim_exp.Fig2b.run ~trials:10 ~seed ());
+    Format.printf "%a@." Pim_exp.Fig1.pp_results (Pim_exp.Fig1.run ());
+    Format.printf "%a@." Pim_exp.Overhead.pp_rows (Pim_exp.Overhead.run ~seed ());
+    Format.printf "%a@." Pim_exp.Failover.pp_rows (Pim_exp.Failover.run ~seed ());
+    Format.printf "%a@." Pim_exp.Ablation.pp_policy_rows (Pim_exp.Ablation.run_spt_policy ~seed ());
+    Format.printf "%a@." Pim_exp.Ablation.pp_refresh_rows (Pim_exp.Ablation.run_refresh ~seed ());
+    Format.printf "%a@." Pim_exp.Groups_scaling.pp_rows
+      (Pim_exp.Groups_scaling.run ~group_counts:[ 10; 40 ] ~seed ());
+    Format.printf "%a@." Pim_exp.Aggregation.pp_rows (Pim_exp.Aggregation.run ~seed ());
+    Format.printf "%a@." Pim_exp.Churn.pp_rows (Pim_exp.Churn.run ~seed ());
+    Format.printf "%a@." Pim_exp.Loss.pp_rows (Pim_exp.Loss.run ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment at reduced trial counts (see EXPERIMENTS.md).")
+    Term.(const run $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "pimsim" ~version:"1.0.0"
+      ~doc:"Reproduction harness for 'An Architecture for Wide-Area Multicast Routing' (SIGCOMM '94)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ fig2a_cmd; fig2b_cmd; fig1_cmd; overhead_cmd; failover_cmd; ablation_cmd; refresh_cmd; groups_cmd; aggregation_cmd; churn_cmd; loss_cmd; all_cmd ]))

@@ -1,0 +1,1 @@
+examples/dense_vs_sparse.ml: Format List Pim_core Pim_dense Pim_exp Pim_graph Pim_net Pim_sim

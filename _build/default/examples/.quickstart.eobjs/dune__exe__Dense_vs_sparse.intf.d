@@ -1,0 +1,1 @@
+examples/dense_vs_sparse.mli:

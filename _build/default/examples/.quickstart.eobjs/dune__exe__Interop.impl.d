@@ -1,0 +1,1 @@
+examples/interop.ml: Format List Pim_core Pim_dense Pim_graph Pim_interop Pim_net Pim_routing Pim_sim String

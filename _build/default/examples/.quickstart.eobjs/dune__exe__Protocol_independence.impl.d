@@ -1,0 +1,1 @@
+examples/protocol_independence.ml: Format List Pim_core Pim_graph Pim_net Pim_routing Pim_sim

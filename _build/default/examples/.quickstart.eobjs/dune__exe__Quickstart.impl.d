@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Pim_core Pim_graph Pim_mcast Pim_net Pim_sim

@@ -1,0 +1,1 @@
+examples/receiver_join.ml: Format List Pim_core Pim_graph Pim_igmp Pim_mcast Pim_net Pim_sim

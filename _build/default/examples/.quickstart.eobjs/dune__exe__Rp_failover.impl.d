@@ -1,0 +1,1 @@
+examples/rp_failover.ml: Float Format List Pim_core Pim_graph Pim_net Pim_sim

@@ -1,0 +1,1 @@
+examples/rp_failover.mli:

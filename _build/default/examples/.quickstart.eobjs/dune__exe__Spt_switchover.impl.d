@@ -1,0 +1,1 @@
+examples/spt_switchover.ml: Format Fun List Pim_core Pim_graph Pim_mcast Pim_net Pim_sim String

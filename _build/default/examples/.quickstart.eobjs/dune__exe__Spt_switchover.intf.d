@@ -1,0 +1,1 @@
+examples/spt_switchover.mli:

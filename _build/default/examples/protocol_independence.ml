@@ -1,0 +1,109 @@
+(* The "Protocol Independent" in PIM, demonstrated (paper section 2,
+   "Routing Protocol Independent").
+
+   The identical PIM-SM scenario — same topology, same members, same
+   sending schedule — is run three times over three different unicast
+   substrates:
+
+   - oracle shortest paths (instant convergence),
+   - a RIP-like distance-vector protocol,
+   - an OSPF-like link-state protocol,
+
+   and, once the substrate has converged, PIM behaves identically: same
+   deliveries, same multicast state.  Mid-run we also fail a link: PIM
+   repairs itself from whatever the substrate offers (section 3.8), at the
+   substrate's own convergence speed.
+
+   Run with: dune exec examples/protocol_independence.exe *)
+
+module Engine = Pim_sim.Engine
+module Net = Pim_sim.Net
+module Addr = Pim_net.Addr
+module Group = Pim_net.Group
+module Rib = Pim_routing.Rib
+
+let g = Group.of_index 1
+
+type outcome = {
+  name : string;
+  delivered : int;
+  delivered_after_failure : int;
+  entries : int;
+}
+
+let scenario ~name ~(make_ribs : Net.t -> (int -> Rib.t) * (Engine.t -> unit)) =
+  let topo = Pim_graph.Classic.ring 6 in
+  let eng = Engine.create () in
+  let net = Net.create eng topo in
+  let ribs, wait_converged = make_ribs net in
+  wait_converged eng;
+  let rp_set = Pim_core.Rp_set.single g (Addr.router 2) in
+  let dep =
+    Pim_core.Deployment.create ~config:Pim_core.Config.fast ~net ~ribs ~rp_set ()
+  in
+  let receiver = Pim_core.Deployment.router dep 4 in
+  Pim_core.Router.join_local receiver g;
+  let delivered = ref 0 in
+  Pim_core.Router.on_local_data receiver (fun _ -> incr delivered);
+  let t0 = Engine.now eng in
+  Engine.run ~until:(t0 +. 10.) eng;
+  let sender = Pim_core.Deployment.router dep 2 in
+  for i = 0 to 39 do
+    ignore
+      (Engine.schedule_at eng
+         (t0 +. 10. +. float_of_int i)
+         (fun () -> Pim_core.Router.send_local_data sender ~group:g ()))
+  done;
+  (* Fail the 3-4 link half way: the substrate reroutes, PIM re-joins. *)
+  ignore (Engine.schedule_at eng (t0 +. 30.) (fun () -> Net.set_link_up net 3 false));
+  Engine.run ~until:(t0 +. 70.) eng;
+  let before = !delivered in
+  Engine.run ~until:(t0 +. 80.) eng;
+  {
+    name;
+    delivered = before;
+    delivered_after_failure = !delivered;
+    entries = Pim_core.Deployment.total_entries dep;
+  }
+
+let () =
+  let static net =
+    let s = Pim_routing.Static.create net in
+    (Pim_routing.Static.rib s, fun _ -> ())
+  in
+  let dv net =
+    let config =
+      { Pim_routing.Distance_vector.default_config with
+        Pim_routing.Distance_vector.period = 3.; timeout = 20.; triggered_delay = 0.2 }
+    in
+    let d = Pim_routing.Distance_vector.create ~config net in
+    (Pim_routing.Distance_vector.rib d, fun eng -> Engine.run ~until:20. eng)
+  in
+  let ls net =
+    let config = { Pim_routing.Link_state.refresh_period = 30.; spf_delay = 0.2 } in
+    let l = Pim_routing.Link_state.create ~config net in
+    (Pim_routing.Link_state.rib l, fun eng -> Engine.run ~until:10. eng)
+  in
+  let outcomes =
+    [
+      scenario ~name:"oracle shortest paths" ~make_ribs:static;
+      scenario ~name:"distance-vector (RIP-like)" ~make_ribs:dv;
+      scenario ~name:"link-state (OSPF-like)" ~make_ribs:ls;
+    ]
+  in
+  Format.printf "PIM-SM over three unicast substrates (same scenario, 40 packets,@.";
+  Format.printf "link failure at packet 20; ring topology so a detour exists):@.@.";
+  Format.printf "  %-28s %10s %12s %8s@." "substrate" "delivered" "after-repair" "entries";
+  List.iter
+    (fun o ->
+      Format.printf "  %-28s %10d %12d %8d@." o.name o.delivered o.delivered_after_failure
+        o.entries)
+    outcomes;
+  Format.printf
+    "@.PIM never looked at how the routes were computed — only at the RIB@.";
+  Format.printf "interface (lib/routing/rib.mli).  That is the protocol independence claim.@.";
+  (* All three must deliver the stream and survive the failure (a few
+     packets fall into the SPT-transition and repair windows). *)
+  List.iter
+    (fun o -> if o.delivered_after_failure < 30 then exit 1)
+    outcomes

@@ -1,0 +1,1 @@
+lib/cbt/router.ml: Array Format Hashtbl Int List Pim_graph Pim_mcast Pim_net Pim_routing Pim_sim Printf

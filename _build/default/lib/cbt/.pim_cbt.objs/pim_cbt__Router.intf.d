@@ -1,0 +1,1 @@
+lib/cbt/router.mli: Pim_graph Pim_net Pim_routing Pim_sim

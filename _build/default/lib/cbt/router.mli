@@ -1,0 +1,101 @@
+(** Core Based Trees (paper reference [10]) — the shared-tree baseline.
+
+    One bidirectional tree per group, rooted at a per-group core router.
+    Receivers' first-hop routers send JOIN-REQUEST hop-by-hop toward the
+    core; the first on-tree router (or the core) answers with a JOIN-ACK
+    that travels back down, committing child state at every hop — CBT's
+    explicit-acknowledgement design, which footnote 4 of the PIM paper
+    contrasts with PIM's soft-state refresh.  Liveness is maintained with
+    child-to-parent ECHO keepalives; a parent that goes silent causes the
+    child to flush and re-join.
+
+    Data from an on-tree router fans out over every tree interface except
+    the arriving one.  An off-tree sender's first-hop router encapsulates
+    data to the core (CBT non-member sending), which injects it into the
+    tree.
+
+    The delay and traffic-concentration penalties of this single shared
+    tree are what Figure 2 of the paper quantifies. *)
+
+type config = {
+  echo_interval : float;  (** child-to-parent keepalive period *)
+  child_timeout : float;  (** parent drops a silent child after this long *)
+  parent_timeout : float;  (** child flushes after this long without echoes *)
+  rejoin_delay : float;  (** pause before re-joining after a flush *)
+}
+
+val default_config : config
+
+val fast_config : config
+
+type stats = {
+  mutable joins_sent : int;
+  mutable acks_sent : int;
+  mutable echoes_sent : int;
+  mutable quits_sent : int;
+  mutable flushes : int;
+  mutable data_forwarded : int;
+  mutable data_encapsulated : int;
+  mutable data_dropped_off_tree : int;
+  mutable data_delivered_local : int;
+}
+
+type t
+
+val create :
+  ?config:config ->
+  ?trace:Pim_sim.Trace.t ->
+  net:Pim_sim.Net.t ->
+  rib:Pim_routing.Rib.t ->
+  core_of:(Pim_net.Group.t -> Pim_net.Addr.t option) ->
+  Pim_graph.Topology.node ->
+  t
+
+val node : t -> Pim_graph.Topology.node
+
+val stats : t -> stats
+
+val join_local : t -> Pim_net.Group.t -> unit
+(** Local member: triggers the JOIN-REQUEST / JOIN-ACK exchange toward the
+    core (no-op at the core itself, which is always on-tree). *)
+
+val leave_local : t -> Pim_net.Group.t -> unit
+
+val on_tree : t -> Pim_net.Group.t -> bool
+(** Confirmed on the group's tree (the core is always on-tree once it has
+    seen the group). *)
+
+val tree_ifaces : t -> Pim_net.Group.t -> Pim_graph.Topology.iface list
+(** Parent and confirmed child interfaces. *)
+
+val entry_count : t -> int
+(** Per-group tree state entries held by this router. *)
+
+val on_local_data : t -> (Pim_net.Packet.t -> unit) -> unit
+
+val send_local_data : t -> group:Pim_net.Group.t -> ?size:int -> unit -> unit
+
+val local_source_addr : t -> Pim_net.Addr.t
+
+val is_encapsulated_data : Pim_net.Packet.t -> bool
+(** True for the core-bound tunnel frames of off-tree senders when they
+    carry multicast data (traffic classifiers must count them as data). *)
+
+module Deployment : sig
+  type router := t
+
+  type t
+
+  val create_static :
+    ?config:config ->
+    ?trace:Pim_sim.Trace.t ->
+    Pim_sim.Net.t ->
+    core_of:(Pim_net.Group.t -> Pim_net.Addr.t option) ->
+    t
+
+  val router : t -> Pim_graph.Topology.node -> router
+
+  val total_stats : t -> stats
+
+  val total_entries : t -> int
+end

@@ -1,0 +1,1 @@
+lib/core/deployment.ml: Array Format Fun List Pim_graph Pim_mcast Pim_net Pim_routing Pim_sim Printf Router String

@@ -1,0 +1,1 @@
+lib/core/deployment.mli: Config Format Pim_graph Pim_igmp Pim_net Pim_routing Pim_sim Router Rp_set

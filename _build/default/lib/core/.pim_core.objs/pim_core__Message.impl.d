@@ -1,0 +1,1 @@
+lib/core/message.ml: Format List Pim_graph Pim_net Printf String

@@ -1,0 +1,1 @@
+lib/core/router.ml: Array Config Float Format Hashtbl Int List Message Option Pim_graph Pim_igmp Pim_mcast Pim_net Pim_routing Pim_sim Rp_set

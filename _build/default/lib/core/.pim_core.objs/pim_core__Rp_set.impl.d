@@ -1,0 +1,1 @@
+lib/core/rp_set.ml: List Map Option Pim_net

@@ -1,0 +1,1 @@
+lib/core/rp_set.mli: Pim_net

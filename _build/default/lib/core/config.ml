@@ -1,0 +1,59 @@
+type spt_policy =
+  | Immediate
+  | Never
+  | Threshold of { packets : int; window : float }
+
+type t = {
+  jp_period : float;
+  oif_holdtime : float;
+  entry_linger : float;
+  prune_override_delay : float;
+  prune_override_window : float;
+  rp_reach_period : float;
+  rp_timeout : float;
+  spt_policy : spt_policy;
+  register_suppress : bool;
+  aggregate_sources : bool;
+  sweep_interval : float;
+}
+
+let default =
+  {
+    jp_period = 60.;
+    oif_holdtime = 180.;
+    entry_linger = 180.;
+    prune_override_delay = 1.;
+    prune_override_window = 3.;
+    rp_reach_period = 30.;
+    rp_timeout = 105.;
+    spt_policy = Immediate;
+    register_suppress = true;
+    aggregate_sources = false;
+    sweep_interval = 20.;
+  }
+
+let scale f t =
+  {
+    t with
+    jp_period = t.jp_period *. f;
+    oif_holdtime = t.oif_holdtime *. f;
+    entry_linger = t.entry_linger *. f;
+    prune_override_delay = t.prune_override_delay *. f;
+    prune_override_window = t.prune_override_window *. f;
+    rp_reach_period = t.rp_reach_period *. f;
+    rp_timeout = t.rp_timeout *. f;
+    sweep_interval = t.sweep_interval *. f;
+  }
+
+let fast = scale 0.1 default
+
+let with_spt_policy p t = { t with spt_policy = p }
+
+let with_jp_period p t =
+  {
+    t with
+    jp_period = p;
+    oif_holdtime = 3. *. p;
+    entry_linger = 3. *. p;
+    sweep_interval = p /. 3.;
+  }

@@ -1,0 +1,56 @@
+(** PIM sparse-mode protocol timers and policies.
+
+    Every constant of the paper's soft-state machinery lives here so that
+    the refresh-period ablation (DESIGN.md experiment E4) is a pure
+    configuration sweep.  [default] uses deployment-scale timers
+    (60-second Join/Prune refresh); [fast] scales everything down for
+    quick simulations without changing any ratio. *)
+
+type spt_policy =
+  | Immediate  (** join the source's SPT on the first data packet seen *)
+  | Never  (** stay on the RP tree indefinitely (section 3.3 allows this) *)
+  | Threshold of { packets : int; window : float }
+      (** join after [packets] data packets within [window] seconds — the
+          "m packets in n seconds" DR policy of section 3.3 *)
+
+type t = {
+  jp_period : float;  (** periodic Join/Prune refresh (section 3.4) *)
+  oif_holdtime : float;  (** outgoing-interface timer set by Joins (section 3.6) *)
+  entry_linger : float;  (** entry deleted this long after its oif list empties *)
+  prune_override_delay : float;
+      (** how long a LAN router waits before overriding a peer's prune
+          (section 3.7) *)
+  prune_override_window : float;
+      (** how long the upstream LAN router keeps a pruned oif alive awaiting
+          an override join (section 3.7) *)
+  rp_reach_period : float;  (** RP-reachability origination period (section 3.2) *)
+  rp_timeout : float;  (** receiver-side RP liveness timeout (section 3.9) *)
+  spt_policy : spt_policy;
+  register_suppress : bool;
+      (** stop encapsulating registers once native (S,G) forwarding toward
+          the RP is up (see DESIGN.md substitution table) *)
+  aggregate_sources : bool;
+      (** in periodic refreshes, collapse multiple (S,G) joins whose
+          sources share a /24 (their first-hop router's subnet — the
+          "domain level aggregate" of section 4) into one prefix entry;
+          off by default, tree construction is always per-source *)
+  sweep_interval : float;  (** timer-wheel granularity *)
+}
+
+val default : t
+(** jp_period 60 s, oif holdtime 180 s, linger 180 s, override delay 1 s /
+    window 3 s, RP reachability 30 s / timeout 105 s, Immediate SPT policy,
+    register suppression on. *)
+
+val fast : t
+(** [default] with every timer divided by 10 — converges in seconds of
+    simulated time; used by most tests and experiments. *)
+
+val scale : float -> t -> t
+(** Multiply every timer by a factor (policies unchanged). *)
+
+val with_spt_policy : spt_policy -> t -> t
+
+val with_jp_period : float -> t -> t
+(** Set the refresh period and rescale the timers derived from it
+    (holdtime = 3x, linger = 3x). *)

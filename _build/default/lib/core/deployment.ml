@@ -1,0 +1,108 @@
+module Topology = Pim_graph.Topology
+module Net = Pim_sim.Net
+
+type t = {
+  net : Net.t;
+  routers : Router.t array;
+}
+
+let create ?config ?igmp_config ?trace ~net ~ribs ~rp_set () =
+  let n = Topology.n_nodes (Net.topo net) in
+  let routers =
+    Array.init n (fun u -> Router.create ?config ?igmp_config ?trace ~net ~rib:(ribs u) ~rp_set u)
+  in
+  { net; routers }
+
+let create_static ?config ?igmp_config ?trace net ~rp_set =
+  let static = Pim_routing.Static.create net in
+  create ?config ?igmp_config ?trace ~net ~ribs:(Pim_routing.Static.rib static) ~rp_set ()
+
+let router t u = t.routers.(u)
+
+let routers t = t.routers
+
+let net t = t.net
+
+let total_entries t =
+  Array.fold_left (fun acc r -> acc + Pim_mcast.Fwd.count (Router.fib r)) 0 t.routers
+
+let pp_shared_tree t g ppf () =
+  let topo = Net.topo t.net in
+  let n = Array.length t.routers in
+  (* parent.(u) = the neighbor u's shared-tree iif points at, when u has a
+     live shared-tree entry. *)
+  let on_tree = Array.make n false in
+  let parent = Array.make n None in
+  Array.iter
+    (fun r ->
+      let u = Router.node r in
+      match Pim_mcast.Fwd.find_star (Router.fib r) g with
+      | None -> ()
+      | Some e ->
+        on_tree.(u) <- true;
+        (match e.Pim_mcast.Fwd.iif with
+        | None -> ()
+        | Some iface -> (
+          let link = Topology.link_of_iface topo u iface in
+          match Topology.others_on_link topo link.Topology.id u with
+          | [ p ] -> parent.(u) <- Some p
+          | candidates -> (
+            (* Multi-access: prefer an on-tree neighbor. *)
+            match
+              List.find_opt
+                (fun p -> Pim_mcast.Fwd.find_star (Router.fib t.routers.(p)) g <> None)
+                candidates
+            with
+            | Some p -> parent.(u) <- Some p
+            | None -> parent.(u) <- (match candidates with p :: _ -> Some p | [] -> None))))
+    )
+    t.routers;
+  let children u =
+    List.filter (fun v -> on_tree.(v) && parent.(v) = Some u) (List.init n Fun.id)
+  in
+  let describe u =
+    let r = t.routers.(u) in
+    let tags = ref [] in
+    if Router.is_rp_for r g then tags := "RP" :: !tags;
+    if Router.has_local_members r g then tags := "members" :: !tags;
+    if !tags = [] then Printf.sprintf "router %d" u
+    else Printf.sprintf "router %d (%s)" u (String.concat ", " !tags)
+  in
+  let rec render u depth =
+    Format.fprintf ppf "%s%s@." (String.make (2 * depth) ' ') (describe u);
+    List.iter (fun v -> render v (depth + 1)) (children u)
+  in
+  let roots =
+    List.filter
+      (fun u ->
+        on_tree.(u)
+        && match parent.(u) with None -> true | Some p -> not on_tree.(p))
+      (List.init n Fun.id)
+  in
+  if roots = [] then Format.fprintf ppf "(no shared tree for %s)@." (Pim_net.Group.to_string g)
+  else begin
+    Format.fprintf ppf "shared tree for %s:@." (Pim_net.Group.to_string g);
+    List.iter (fun u -> render u 1) roots
+  end
+
+let total_stats t =
+  let acc = Router.fresh_stats () in
+  Array.iter
+    (fun r ->
+      let s = Router.stats r in
+      acc.Router.jp_msgs_sent <- acc.Router.jp_msgs_sent + s.Router.jp_msgs_sent;
+      acc.Router.joins_sent <- acc.Router.joins_sent + s.Router.joins_sent;
+      acc.Router.prunes_sent <- acc.Router.prunes_sent + s.Router.prunes_sent;
+      acc.Router.registers_sent <- acc.Router.registers_sent + s.Router.registers_sent;
+      acc.Router.rp_reach_sent <- acc.Router.rp_reach_sent + s.Router.rp_reach_sent;
+      acc.Router.data_forwarded <- acc.Router.data_forwarded + s.Router.data_forwarded;
+      acc.Router.data_dropped_iif <- acc.Router.data_dropped_iif + s.Router.data_dropped_iif;
+      acc.Router.data_dropped_no_state <-
+        acc.Router.data_dropped_no_state + s.Router.data_dropped_no_state;
+      acc.Router.data_delivered_local <-
+        acc.Router.data_delivered_local + s.Router.data_delivered_local;
+      acc.Router.unicast_forwarded <- acc.Router.unicast_forwarded + s.Router.unicast_forwarded;
+      acc.Router.spt_switches <- acc.Router.spt_switches + s.Router.spt_switches;
+      acc.Router.rp_failovers <- acc.Router.rp_failovers + s.Router.rp_failovers)
+    t.routers;
+  acc

@@ -1,0 +1,45 @@
+(** Convenience for standing up PIM sparse mode on every router of a
+    topology: one {!Router} per node, all sharing a unicast substrate and
+    one RP-set configuration.  Used by the examples, the integration tests
+    and the experiment harnesses. *)
+
+type t
+
+val create :
+  ?config:Config.t ->
+  ?igmp_config:Pim_igmp.Router.config ->
+  ?trace:Pim_sim.Trace.t ->
+  net:Pim_sim.Net.t ->
+  ribs:(Pim_graph.Topology.node -> Pim_routing.Rib.t) ->
+  rp_set:Rp_set.t ->
+  unit ->
+  t
+
+val create_static :
+  ?config:Config.t ->
+  ?igmp_config:Pim_igmp.Router.config ->
+  ?trace:Pim_sim.Trace.t ->
+  Pim_sim.Net.t ->
+  rp_set:Rp_set.t ->
+  t
+(** Like {!create} with an oracle {!Pim_routing.Static} substrate built on
+    the spot. *)
+
+val router : t -> Pim_graph.Topology.node -> Router.t
+
+val routers : t -> Router.t array
+
+val net : t -> Pim_sim.Net.t
+
+val total_entries : t -> int
+(** Multicast forwarding entries across all routers — the state metric of
+    the paper's overhead definition. *)
+
+val total_stats : t -> Router.stats
+(** Field-wise sum over all routers. *)
+
+val pp_shared_tree : t -> Pim_net.Group.t -> Format.formatter -> unit -> unit
+(** Render the group's RP-rooted shared tree as indented ASCII, derived
+    from the live "(*,G)" entries (each router hangs under the neighbor
+    its incoming interface points at).  Orphan branches — e.g. mid-failover
+    — are printed under their own roots. *)

@@ -1,0 +1,77 @@
+module Packet = Pim_net.Packet
+module Addr = Pim_net.Addr
+module Group = Pim_net.Group
+
+type jp_entry = {
+  addr : Addr.t;
+  wc : bool;
+  rp : bool;
+  plen : int;
+}
+
+type join_prune = {
+  target : Addr.t;
+  origin : Pim_graph.Topology.node;
+  group : Group.t;
+  joins : jp_entry list;
+  prunes : jp_entry list;
+  holdtime : float;
+}
+
+type Packet.payload +=
+  | Join_prune of join_prune
+  | Join_prune_bundle of join_prune list
+  | Register of Packet.t
+  | Rp_reachability of { group : Group.t; rp : Addr.t }
+
+let jp_entry ?(wc = false) ?(rp = false) ?(plen = 32) addr = { addr; wc; rp; plen }
+
+let pp_jp_entry ppf e =
+  Format.fprintf ppf "%s%s%s%s" (Addr.to_string e.addr)
+    (if e.plen = 32 then "" else Printf.sprintf "/%d" e.plen)
+    (if e.wc then "+WC" else "")
+    (if e.rp then "+RP" else "")
+
+let jp_to_string side entries =
+  if entries = [] then ""
+  else
+    Printf.sprintf " %s={%s}" side
+      (String.concat ","
+         (List.map (fun e -> Format.asprintf "%a" pp_jp_entry e) entries))
+
+let () =
+  Packet.register_printer (function
+    | Join_prune m ->
+      Some
+        (Printf.sprintf "pim-jp %s ->%s%s%s"
+           (Group.to_string m.group)
+           (Addr.to_string m.target)
+           (jp_to_string "join" m.joins)
+           (jp_to_string "prune" m.prunes))
+    | Join_prune_bundle ms -> Some (Printf.sprintf "pim-jp-bundle (%d groups)" (List.length ms))
+    | Register inner ->
+      Some (Printf.sprintf "pim-register [%s]" (Packet.payload_to_string inner.Packet.payload))
+    | Rp_reachability { group; rp } ->
+      Some (Printf.sprintf "pim-rp-reach %s rp=%s" (Group.to_string group) (Addr.to_string rp))
+    | _ -> None)
+
+let all_pim_routers_group = Group.of_addr_exn Addr.all_pim_routers
+
+let join_prune_packet ~src ~target ~origin ~group ~joins ~prunes ~holdtime =
+  let size = 24 + (8 * (List.length joins + List.length prunes)) in
+  Packet.multicast ~src ~group:all_pim_routers_group ~ttl:1 ~size
+    (Join_prune { target; origin; group; joins; prunes; holdtime })
+
+let jp_size m = 8 + (8 * (List.length m.joins + List.length m.prunes))
+
+let bundle_packet ~src ms =
+  assert (ms <> []);
+  let size = 16 + List.fold_left (fun acc m -> acc + jp_size m) 0 ms in
+  Packet.multicast ~src ~group:all_pim_routers_group ~ttl:1 ~size (Join_prune_bundle ms)
+
+let register_packet ~src ~rp inner =
+  Packet.unicast ~src ~dst:rp ~size:(inner.Packet.size + 28) (Register inner)
+
+let rp_reachability_packet ~src ~group ~rp =
+  Packet.multicast ~src ~group:all_pim_routers_group ~ttl:1 ~size:16
+    (Rp_reachability { group; rp })

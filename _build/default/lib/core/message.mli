@@ -1,0 +1,71 @@
+(** PIM control messages.
+
+    The 1994 architecture piggybacks PIM on IGMP message types; here they
+    are typed payloads with modelled byte sizes.  Join/Prune messages carry
+    a join list and a prune list of addresses, each flagged with the WC and
+    RP bits exactly as in section 3.2; they are multicast hop-by-hop on the
+    outgoing interface (to 224.0.0.2 on multi-access networks, section 3.7)
+    with the intended upstream neighbor named in the header. *)
+
+type jp_entry = {
+  addr : Pim_net.Addr.t;  (** a source, or the RP when [wc] is set *)
+  wc : bool;  (** wildcard: [addr] is the RP of a shared-tree entry *)
+  rp : bool;  (** RP bit: this entry lives on the RP tree (section 3.2) *)
+  plen : int;
+      (** prefix length of [addr]: 32 names one source; shorter lengths
+          aggregate all sources in the prefix — "one might consider using
+          the highest level aggregate available for an address ...
+          optimal with respect to PIM message size" (section 4).
+          Aggregated entries appear only in periodic refreshes; tree
+          construction stays per-source. *)
+}
+
+type join_prune = {
+  target : Pim_net.Addr.t;  (** the upstream router this message is for *)
+  origin : Pim_graph.Topology.node;  (** sending router *)
+  group : Pim_net.Group.t;
+  joins : jp_entry list;
+  prunes : jp_entry list;
+  holdtime : float;  (** how long receivers should keep the oifs alive *)
+}
+
+type Pim_net.Packet.payload +=
+  | Join_prune of join_prune
+  | Join_prune_bundle of join_prune list
+      (** several groups' periodic join/prune state for the same upstream
+          neighbor, bundled into one message — the message-size aggregation
+          section 4 calls for ("the most important issues are PIM message
+          size and the amount of memory used for routing forwarding
+          entries") *)
+  | Register of Pim_net.Packet.t
+      (** data packet piggybacked to the RP by the source's first-hop router
+          (section 3) *)
+  | Rp_reachability of { group : Pim_net.Group.t; rp : Pim_net.Addr.t }
+      (** periodic liveness beacon distributed down the "(*,G)" tree
+          (sections 3.2, 3.9) *)
+
+val jp_entry : ?wc:bool -> ?rp:bool -> ?plen:int -> Pim_net.Addr.t -> jp_entry
+(** [plen] defaults to 32 (a single source or RP). *)
+
+val join_prune_packet :
+  src:Pim_net.Addr.t ->
+  target:Pim_net.Addr.t ->
+  origin:Pim_graph.Topology.node ->
+  group:Pim_net.Group.t ->
+  joins:jp_entry list ->
+  prunes:jp_entry list ->
+  holdtime:float ->
+  Pim_net.Packet.t
+(** Multicast to 224.0.0.2, TTL 1 (link-local, hop-by-hop). *)
+
+val bundle_packet : src:Pim_net.Addr.t -> join_prune list -> Pim_net.Packet.t
+(** One wire message carrying several groups' join/prune sections (all for
+    the same target).  The list must be non-empty. *)
+
+val register_packet : src:Pim_net.Addr.t -> rp:Pim_net.Addr.t -> Pim_net.Packet.t -> Pim_net.Packet.t
+(** Unicast encapsulation of a data packet toward the RP. *)
+
+val rp_reachability_packet :
+  src:Pim_net.Addr.t -> group:Pim_net.Group.t -> rp:Pim_net.Addr.t -> Pim_net.Packet.t
+
+val pp_jp_entry : Format.formatter -> jp_entry -> unit

@@ -1,0 +1,19 @@
+module Group = Pim_net.Group
+
+module GroupMap = Map.Make (Group)
+
+type t = Pim_net.Addr.t list GroupMap.t
+
+let empty = GroupMap.empty
+
+let add t g rps = GroupMap.add g rps t
+
+let of_list l = List.fold_left (fun acc (g, rps) -> add acc g rps) empty l
+
+let single g rp = of_list [ (g, [ rp ]) ]
+
+let rps t g = Option.value (GroupMap.find_opt g t) ~default:[]
+
+let is_sparse t g = rps t g <> []
+
+let groups t = GroupMap.fold (fun g _ acc -> g :: acc) t []

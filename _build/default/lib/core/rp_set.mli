@@ -1,0 +1,26 @@
+(** Group-to-RP mappings.
+
+    Section 3.1: a group is identified as sparse-mode by the presence of RP
+    address(es) associated with it, learned from configuration or from a
+    host message; groups without a mapping are not handled by PIM sparse
+    mode.  The list is ordered: receivers join toward the first reachable
+    RP and fail over down the list (section 3.9); senders register to
+    every RP in the list. *)
+
+type t
+
+val empty : t
+
+val of_list : (Pim_net.Group.t * Pim_net.Addr.t list) list -> t
+
+val add : t -> Pim_net.Group.t -> Pim_net.Addr.t list -> t
+
+val single : Pim_net.Group.t -> Pim_net.Addr.t -> t
+(** One group, one RP. *)
+
+val rps : t -> Pim_net.Group.t -> Pim_net.Addr.t list
+(** Empty when the group has no mapping (dense-mode / unsupported). *)
+
+val is_sparse : t -> Pim_net.Group.t -> bool
+
+val groups : t -> Pim_net.Group.t list

@@ -1,0 +1,1 @@
+lib/dense/message.ml: Pim_graph Pim_net Printf

@@ -1,0 +1,1 @@
+lib/dense/message.mli: Pim_graph Pim_net

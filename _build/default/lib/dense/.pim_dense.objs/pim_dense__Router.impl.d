@@ -1,0 +1,1 @@
+lib/dense/router.ml: Array Float Format Hashtbl Int List Message Pim_graph Pim_igmp Pim_mcast Pim_net Pim_routing Pim_sim Printf Set

@@ -1,0 +1,37 @@
+module Packet = Pim_net.Packet
+module Addr = Pim_net.Addr
+module Group = Pim_net.Group
+
+type body = {
+  target : Addr.t;
+  origin : Pim_graph.Topology.node;
+  source : Addr.t;
+  group : Group.t;
+  holdtime : float;
+}
+
+type Packet.payload +=
+  | Prune of body
+  | Join of body
+
+let () =
+  Packet.register_printer (function
+    | Prune b ->
+      Some
+        (Printf.sprintf "dm-prune (%s,%s) ->%s" (Addr.to_string b.source)
+           (Group.to_string b.group) (Addr.to_string b.target))
+    | Join b ->
+      Some
+        (Printf.sprintf "dm-join (%s,%s) ->%s" (Addr.to_string b.source)
+           (Group.to_string b.group) (Addr.to_string b.target))
+    | _ -> None)
+
+let all_routers = Group.of_addr_exn Addr.all_pim_routers
+
+let prune_packet ~src ~target ~origin ~source ~group ~holdtime =
+  Packet.multicast ~src ~group:all_routers ~ttl:1 ~size:24
+    (Prune { target; origin; source; group; holdtime })
+
+let join_packet ~src ~target ~origin ~source ~group =
+  Packet.multicast ~src ~group:all_routers ~ttl:1 ~size:24
+    (Join { target; origin; source; group; holdtime = 0. })

@@ -1,0 +1,34 @@
+(** Control messages of the dense-mode (flood-and-prune) protocols. *)
+
+type body = {
+  target : Pim_net.Addr.t;  (** upstream router the message is for *)
+  origin : Pim_graph.Topology.node;
+  source : Pim_net.Addr.t;
+  group : Pim_net.Group.t;
+  holdtime : float;
+}
+
+type Pim_net.Packet.payload +=
+  | Prune of body
+      (** remove the receiving interface from the (S,G) broadcast for
+          [holdtime] seconds; the branch grows back afterwards *)
+  | Join of body
+      (** cancel/override a prune (also the graft of later dense-mode
+          protocols when sent upstream on a pruned branch) *)
+
+val prune_packet :
+  src:Pim_net.Addr.t ->
+  target:Pim_net.Addr.t ->
+  origin:Pim_graph.Topology.node ->
+  source:Pim_net.Addr.t ->
+  group:Pim_net.Group.t ->
+  holdtime:float ->
+  Pim_net.Packet.t
+
+val join_packet :
+  src:Pim_net.Addr.t ->
+  target:Pim_net.Addr.t ->
+  origin:Pim_graph.Topology.node ->
+  source:Pim_net.Addr.t ->
+  group:Pim_net.Group.t ->
+  Pim_net.Packet.t

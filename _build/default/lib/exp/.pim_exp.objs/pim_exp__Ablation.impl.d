@@ -1,0 +1,1 @@
+lib/exp/ablation.ml: Format List Metrics Pim_core Pim_graph Pim_mcast Pim_net Pim_sim Pim_util

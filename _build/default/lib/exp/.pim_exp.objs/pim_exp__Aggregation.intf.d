@@ -1,0 +1,1 @@
+lib/exp/aggregation.mli: Format

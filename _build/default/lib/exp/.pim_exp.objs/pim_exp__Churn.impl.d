@@ -1,0 +1,1 @@
+lib/exp/churn.ml: Float Format List Metrics Pim_core Pim_graph Pim_net Pim_sim Pim_util

@@ -1,0 +1,1 @@
+lib/exp/failover.ml: Float Format List Pim_core Pim_graph Pim_net Pim_sim

@@ -1,0 +1,1 @@
+lib/exp/failover.mli: Format

@@ -1,0 +1,1 @@
+lib/exp/fig1.ml: Format List Metrics Pim_cbt Pim_core Pim_dense Pim_graph Pim_net Pim_sim

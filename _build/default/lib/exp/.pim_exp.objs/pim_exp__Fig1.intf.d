@@ -1,0 +1,1 @@
+lib/exp/fig1.mli: Format

@@ -1,0 +1,1 @@
+lib/exp/fig2a.ml: Format Fun List Pim_graph Pim_util

@@ -1,0 +1,1 @@
+lib/exp/fig2a.mli: Format

@@ -1,0 +1,1 @@
+lib/exp/fig2b.ml: Array Format Hashtbl List Pim_graph Pim_util

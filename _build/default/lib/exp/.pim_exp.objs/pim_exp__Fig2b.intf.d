@@ -1,0 +1,1 @@
+lib/exp/fig2b.mli: Format

@@ -1,0 +1,1 @@
+lib/exp/groups_scaling.ml: Format List Metrics Pim_cbt Pim_core Pim_dense Pim_graph Pim_mcast Pim_mospf Pim_net Pim_sim Pim_util

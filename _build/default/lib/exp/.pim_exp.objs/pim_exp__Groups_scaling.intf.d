@@ -1,0 +1,1 @@
+lib/exp/groups_scaling.mli: Format

@@ -1,0 +1,1 @@
+lib/exp/loss.ml: Format List Metrics Pim_cbt Pim_core Pim_graph Pim_net Pim_sim Pim_util

@@ -1,0 +1,1 @@
+lib/exp/metrics.ml: Array Pim_cbt Pim_core Pim_graph Pim_mcast Pim_net Pim_sim

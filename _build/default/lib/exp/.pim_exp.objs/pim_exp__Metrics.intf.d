@@ -1,0 +1,1 @@
+lib/exp/metrics.mli: Pim_graph Pim_net Pim_sim

@@ -1,0 +1,44 @@
+(** Experiments E3 and E4 — ablations of PIM's design choices.
+
+    E3 (tree-type policy, section 3.3): the same workload under the three
+    DR policies — stay on the shared tree forever, switch to the SPT on
+    the first packet, or switch after a packet-count threshold.  Measures
+    the delay/state/concentration trade-off the paper argues motivates
+    supporting both tree types in one protocol.
+
+    E4 (soft-state refresh period, footnote 4): sweep the Join/Prune
+    refresh period.  Faster refresh cleans up stale state sooner after a
+    receiver silently leaves — the soft-state reliability mechanism — but
+    costs proportionally more control traffic.  (Repair after unicast
+    routing changes is event-driven, section 3.8, and is exercised by the
+    integration tests instead.) *)
+
+type policy_row = {
+  policy : string;
+  mean_delay : float;  (** end-to-end delivery delay over all packets *)
+  max_delay : float;
+  state_entries : int;
+  max_link_flows : int;
+  deliveries : int;
+}
+
+val run_spt_policy :
+  ?nodes:int -> ?degree:float -> ?members:int -> ?senders:int -> seed:int -> unit -> policy_row list
+(** Defaults: 30 nodes, degree 4, 8 members, 4 senders; every sender emits
+    20 packets at 1 Hz. *)
+
+val pp_policy_rows : Format.formatter -> policy_row list -> unit
+
+type refresh_row = {
+  jp_period : float;
+  control_traversals : int;  (** steady-state control traffic over a fixed window *)
+  cleanup_time : float;
+      (** how long stale tree state survives after the only receiver
+          silently leaves *)
+  deliveries : int;
+}
+
+val run_refresh : ?periods:float list -> seed:int -> unit -> refresh_row list
+(** Defaults: periods [2.; 4.; 8.; 16.] seconds. *)
+
+val pp_refresh_rows : Format.formatter -> refresh_row list -> unit

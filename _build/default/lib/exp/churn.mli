@@ -1,0 +1,27 @@
+(** Experiment E7 — dynamic groups (section 2: "we must support dynamic
+    groups with large numbers of receivers").
+
+    On a transit-stub wide-area topology, receivers join and leave the
+    group continuously (exponential on/off holding times) while one
+    source streams at 2 packets/s.  For each (re-)join we measure the
+    {e join latency}: the time until the first packet arrives over the
+    freshly grafted branch.  Receiver-initiated explicit joins make this
+    a pure join-propagation delay — no flood-and-prune round trips, no
+    waiting for the next broadcast. *)
+
+type row = {
+  mean_on : float;  (** mean membership duration *)
+  mean_off : float;
+  joins_observed : int;
+  mean_join_latency : float;
+  p95_join_latency : float;
+  control_traversals : int;
+  deliveries : int;
+}
+
+val run :
+  ?receivers:int -> ?duration:float -> ?on_off_pairs:(float * float) list -> seed:int -> unit -> row list
+(** Defaults: 6 churning receivers, 300 s runs, (on, off) pairs
+    [(60, 30); (20, 10); (8, 4)] — mild to aggressive churn. *)
+
+val pp_rows : Format.formatter -> row list -> unit

@@ -1,0 +1,92 @@
+module Engine = Pim_sim.Engine
+module Net = Pim_sim.Net
+module Group = Pim_net.Group
+module Addr = Pim_net.Addr
+
+type row = {
+  rp_timeout : float;
+  gap : float;
+  delivered_before : int;
+  delivered_after : int;
+  failovers : int;
+}
+
+let group = Group.of_index 9
+
+(* 3x3 grid: source behind 0, receiver behind 8, primary RP in the
+   center (4), alternate RP at 2.  Crashing node 4 forces the receiver to
+   rendezvous through the alternate. *)
+let source = 0
+
+let receiver = 8
+
+let rp_primary = 4
+
+let rp_alternate = 2
+
+let crash_at = 30.
+
+let stop_at = 75.
+
+let one_timeout ~seed:_ rp_timeout =
+  let topo = Pim_graph.Classic.grid 3 3 in
+  let eng = Engine.create () in
+  let net = Net.create eng topo in
+  let config =
+    {
+      Pim_core.Config.fast with
+      Pim_core.Config.rp_reach_period = 1.5;
+      rp_timeout;
+      sweep_interval = 0.5;
+      (* Receivers stay on the RP tree: delivery then depends on the RP,
+         which is what this experiment stresses. *)
+      spt_policy = Pim_core.Config.Never;
+    }
+  in
+  let rp_set =
+    Pim_core.Rp_set.single group (Addr.router rp_primary)
+    |> fun s -> Pim_core.Rp_set.add s group [ Addr.router rp_primary; Addr.router rp_alternate ]
+  in
+  let dep = Pim_core.Deployment.create_static ~config net ~rp_set in
+  let r = Pim_core.Deployment.router dep receiver in
+  Pim_core.Router.join_local r group;
+  let arrivals = ref [] in
+  Pim_core.Router.on_local_data r (fun _ -> arrivals := Engine.now eng :: !arrivals);
+  let s = Pim_core.Deployment.router dep source in
+  let rec send_loop t0 =
+    if t0 < stop_at then
+      ignore
+        (Engine.schedule_at eng t0 (fun () ->
+             Pim_core.Router.send_local_data s ~group ();
+             send_loop (t0 +. 0.5)))
+  in
+  send_loop 10.;
+  ignore (Engine.schedule_at eng crash_at (fun () -> Net.set_node_up net rp_primary false));
+  Engine.run ~until:(stop_at +. 10.) eng;
+  let times = List.sort compare !arrivals in
+  (* Largest inter-arrival gap once delivery is established. *)
+  let rec max_gap acc = function
+    | a :: (b :: _ as rest) -> max_gap (Float.max acc (b -. a)) rest
+    | _ -> acc
+  in
+  let established = List.filter (fun t -> t > 15.) times in
+  let gap = max_gap 0. established in
+  {
+    rp_timeout;
+    gap;
+    delivered_before = List.length (List.filter (fun t -> t <= crash_at) times);
+    delivered_after = List.length (List.filter (fun t -> t > crash_at) times);
+    failovers = (Pim_core.Deployment.total_stats dep).Pim_core.Router.rp_failovers;
+  }
+
+let run ?(timeouts = [ 5.; 10.; 20. ]) ~seed () =
+  List.map (one_timeout ~seed) timeouts
+
+let pp_rows ppf rows =
+  Format.fprintf ppf "# E2: RP failover (primary RP crashes at t=30; 2 pkt/s until t=75)@.";
+  Format.fprintf ppf "# rp_timeout  delivery_gap  before  after  failovers@.";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%11.1f  %12.2f  %6d  %5d  %9d@." r.rp_timeout r.gap
+        r.delivered_before r.delivered_after r.failovers)
+    rows

@@ -1,0 +1,21 @@
+(** Experiment E2 — RP failure and receiver-driven failover (section 3.9).
+
+    Two RPs serve one group; the source registers (and delivers) to both,
+    receivers join toward the primary.  Mid-run the primary RP crashes.
+    Receivers detect the missing RP-reachability beacons, join toward the
+    alternate RP, and delivery resumes.  We measure the delivery gap at
+    the receiver as a function of the RP-reachability timeout. *)
+
+type row = {
+  rp_timeout : float;  (** configured receiver-side liveness timeout *)
+  gap : float;  (** longest inter-arrival gap at the receiver *)
+  delivered_before : int;
+  delivered_after : int;  (** packets received after the crash *)
+  failovers : int;  (** RP failovers performed network-wide *)
+}
+
+val run : ?timeouts:float list -> seed:int -> unit -> row list
+(** Defaults: timeouts [5.; 10.; 20.] seconds (with 1.5 s reachability
+    beacons). *)
+
+val pp_rows : Format.formatter -> row list -> unit

@@ -1,0 +1,52 @@
+module Prng = Pim_util.Prng
+module Spt = Pim_graph.Spt
+module Center = Pim_graph.Center
+module Random_graph = Pim_graph.Random_graph
+
+type row = {
+  degree : float;
+  mean_ratio : float;
+  stddev : float;
+  min_ratio : float;
+  max_ratio : float;
+  trials : int;
+}
+
+let trial prng ~nodes ~members ~degree =
+  let topo = Random_graph.generate ~prng ~nodes ~degree () in
+  let group = Random_graph.pick_members ~prng ~nodes ~count:members in
+  let apsp = Spt.all_pairs topo in
+  (* Members are both senders and receivers, as in the paper's setup. *)
+  let spt = Center.spt_max_delay apsp ~senders:group ~receivers:group in
+  let _core, cbt = Center.optimal apsp ~senders:group ~receivers:group in
+  if spt = 0 then None else Some (float_of_int cbt /. float_of_int spt)
+
+let run ?(nodes = 50) ?(members = 10) ?(trials = 500) ?(degrees = [ 3.; 4.; 5.; 6.; 7.; 8. ])
+    ~seed () =
+  let prng = Prng.create seed in
+  List.map
+    (fun degree ->
+      let stream = Prng.split prng in
+      let ratios =
+        List.init trials (fun _ -> trial stream ~nodes ~members ~degree)
+        |> List.filter_map Fun.id
+      in
+      let s = Pim_util.Stats.summarize ratios in
+      {
+        degree;
+        mean_ratio = s.Pim_util.Stats.mean;
+        stddev = s.Pim_util.Stats.stddev;
+        min_ratio = s.Pim_util.Stats.min;
+        max_ratio = s.Pim_util.Stats.max;
+        trials = List.length ratios;
+      })
+    degrees
+
+let pp_rows ppf rows =
+  Format.fprintf ppf "# Figure 2(a): max delay, optimal center-based tree / shortest-path trees@.";
+  Format.fprintf ppf "# degree  mean_ratio  stddev  min  max  trials@.";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%6.1f  %10.4f  %6.4f  %5.3f  %5.3f  %d@." r.degree r.mean_ratio
+        r.stddev r.min_ratio r.max_ratio r.trials)
+    rows

@@ -1,0 +1,29 @@
+(** Figure 2(a): ratio of the maximum intra-group delay on an optimally
+    placed center-based tree to the shortest-path-tree maximum delay.
+
+    Paper setup: for each network node degree from 3 to 8, 500 random
+    50-node graphs, each with one 10-member group chosen randomly (members
+    are also the senders); the core is placed optimally.  The reported
+    curve lies between 1.0 and about 1.4, falling as the degree rises. *)
+
+type row = {
+  degree : float;
+  mean_ratio : float;
+  stddev : float;
+  min_ratio : float;
+  max_ratio : float;
+  trials : int;
+}
+
+val run :
+  ?nodes:int ->
+  ?members:int ->
+  ?trials:int ->
+  ?degrees:float list ->
+  seed:int ->
+  unit ->
+  row list
+(** Defaults: 50 nodes, 10 members, 500 trials per degree, degrees 3..8. *)
+
+val pp_rows : Format.formatter -> row list -> unit
+(** Print the series the way the paper's figure plots it. *)

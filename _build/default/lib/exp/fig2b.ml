@@ -1,0 +1,125 @@
+module Prng = Pim_util.Prng
+module Topology = Pim_graph.Topology
+module Spt = Pim_graph.Spt
+module Tree = Pim_graph.Tree
+module Random_graph = Pim_graph.Random_graph
+
+type row = {
+  degree : float;
+  spt_max_flows : float;
+  cbt_max_flows : float;
+  spt_stddev : float;
+  cbt_stddev : float;
+  trials : int;
+}
+
+(* Walk the precomputed shortest-path tree of [s] from each target up to
+   the root, adding one flow on every link of the covered sub-tree. *)
+let add_spt_flows flows (tree : Spt.tree) targets =
+  let seen = Hashtbl.create 64 in
+  let rec up v =
+    if v <> tree.Spt.src && not (Hashtbl.mem seen v) then begin
+      Hashtbl.add seen v ();
+      match (tree.Spt.parent.(v), tree.Spt.via.(v)) with
+      | Some p, Some lid ->
+        flows.(lid) <- flows.(lid) + 1;
+        up p
+      | _ -> ()
+    end
+  in
+  List.iter up targets
+
+(* Optimal core for the group: minimise the worst sender-to-receiver delay
+   max_s d(s,c) + max_r d(c,r) over all candidate nodes.  Distances are
+   read from the per-node trees (symmetric link costs). *)
+let optimal_core trees ~senders ~members =
+  let n = Array.length trees in
+  let eccentricity c towards =
+    List.fold_left (fun acc v -> max acc trees.(c).Spt.dist.(v)) 0 towards
+  in
+  let best = ref 0 and best_d = ref max_int in
+  for c = 0 to n - 1 do
+    let d = eccentricity c senders + eccentricity c members in
+    if d < !best_d then begin
+      best := c;
+      best_d := d
+    end
+  done;
+  !best
+
+let network_trial prng ~nodes ~groups ~members ~senders ~degree =
+  let topo = Random_graph.generate ~prng ~nodes ~degree () in
+  let trees = Array.init nodes (fun u -> Spt.single_source topo u) in
+  let n_links = Topology.n_links topo in
+  let spt_flows = Array.make n_links 0 in
+  let cbt_flows = Array.make n_links 0 in
+  for _ = 1 to groups do
+    let group = Array.of_list (Random_graph.pick_members ~prng ~nodes ~count:members) in
+    Prng.shuffle prng group;
+    let member_list = Array.to_list group in
+    let sender_list = Array.to_list (Array.sub group 0 senders) in
+    (* Shortest-path trees: each sender's traffic covers its own tree. *)
+    List.iter
+      (fun s ->
+        let targets = List.filter (fun m -> m <> s) member_list in
+        add_spt_flows spt_flows trees.(s) targets)
+      sender_list;
+    (* Center-based tree: one shared tree rooted at the optimal core. *)
+    let core = optimal_core trees ~senders:sender_list ~members:member_list in
+    let edges = Spt.tree_edges topo trees.(core) ~members:member_list in
+    let tree = Tree.of_edges ~n:nodes edges in
+    List.iter
+      (fun s ->
+        let targets = List.filter (fun m -> m <> s) member_list in
+        if Tree.mem_node tree s then
+          List.iter (fun lid -> cbt_flows.(lid) <- cbt_flows.(lid) + 1)
+            (Tree.covered_labels tree ~src:s ~targets)
+        else begin
+          (* Off-tree sender (possible when the sender is the core's only
+             member on a branch): traffic enters at the core and covers
+             the whole tree plus the unicast path to the core. *)
+          let rec up v =
+            if v <> core then
+              match (trees.(core).Spt.parent.(v), trees.(core).Spt.via.(v)) with
+              | Some p, Some lid ->
+                cbt_flows.(lid) <- cbt_flows.(lid) + 1;
+                up p
+              | _ -> ()
+          in
+          up s;
+          List.iter (fun (_, _, lid) -> cbt_flows.(lid) <- cbt_flows.(lid) + 1) edges
+        end)
+      sender_list
+  done;
+  ( float_of_int (Array.fold_left max 0 spt_flows),
+    float_of_int (Array.fold_left max 0 cbt_flows) )
+
+let run ?(nodes = 50) ?(groups = 300) ?(members = 40) ?(senders = 32) ?(trials = 30)
+    ?(degrees = [ 3.; 4.; 5.; 6.; 7.; 8. ]) ~seed () =
+  if senders > members then invalid_arg "Fig2b.run: senders must be members";
+  let prng = Prng.create seed in
+  List.map
+    (fun degree ->
+      let stream = Prng.split prng in
+      let results =
+        List.init trials (fun _ -> network_trial stream ~nodes ~groups ~members ~senders ~degree)
+      in
+      let spt = List.map fst results and cbt = List.map snd results in
+      {
+        degree;
+        spt_max_flows = Pim_util.Stats.mean spt;
+        cbt_max_flows = Pim_util.Stats.mean cbt;
+        spt_stddev = Pim_util.Stats.stddev spt;
+        cbt_stddev = Pim_util.Stats.stddev cbt;
+        trials;
+      })
+    degrees
+
+let pp_rows ppf rows =
+  Format.fprintf ppf "# Figure 2(b): max traffic flows on any link (300 groups, 40 members, 32 senders)@.";
+  Format.fprintf ppf "# degree  spt_max_flows  cbt_max_flows  spt_sd  cbt_sd  trials@.";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%6.1f  %13.1f  %13.1f  %6.1f  %6.1f  %d@." r.degree r.spt_max_flows
+        r.cbt_max_flows r.spt_stddev r.cbt_stddev r.trials)
+    rows

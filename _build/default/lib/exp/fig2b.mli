@@ -1,0 +1,33 @@
+(** Figure 2(b): traffic concentration — the maximum number of traffic
+    flows carried by any single link, under shortest-path trees versus a
+    center-based (shared) tree.
+
+    Paper setup: random 50-node networks, 300 active groups of 40 members
+    each of which 32 are senders, node degrees 3 to 8, 500 networks per
+    degree.  The center-based tree concentrates noticeably more flows on
+    its hottest link at every degree. *)
+
+type row = {
+  degree : float;
+  spt_max_flows : float;  (** mean over networks of the per-network maximum *)
+  cbt_max_flows : float;
+  spt_stddev : float;
+  cbt_stddev : float;
+  trials : int;
+}
+
+val run :
+  ?nodes:int ->
+  ?groups:int ->
+  ?members:int ->
+  ?senders:int ->
+  ?trials:int ->
+  ?degrees:float list ->
+  seed:int ->
+  unit ->
+  row list
+(** Defaults: 50 nodes, 300 groups, 40 members, 32 senders, degrees 3..8,
+    30 networks per degree (the paper used 500; pass [~trials:500] to
+    match — the shape is stable well below that). *)
+
+val pp_rows : Format.formatter -> row list -> unit

@@ -1,0 +1,1 @@
+lib/graph/center.ml: Array List Spt Topology Tree

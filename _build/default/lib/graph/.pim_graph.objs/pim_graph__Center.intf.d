@@ -1,0 +1,1 @@
+lib/graph/center.mli: Topology Tree

@@ -1,0 +1,1 @@
+lib/graph/random_graph.ml: Array Float Fun Hashtbl Pim_util Topology

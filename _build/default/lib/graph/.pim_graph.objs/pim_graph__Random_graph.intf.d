@@ -1,0 +1,1 @@
+lib/graph/random_graph.mli: Pim_util Topology

@@ -1,0 +1,1 @@
+lib/graph/spt.ml: Array Hashtbl Int List Pim_util Topology

@@ -1,0 +1,1 @@
+lib/graph/transit_stub.ml: Array Fun List Pim_util Topology

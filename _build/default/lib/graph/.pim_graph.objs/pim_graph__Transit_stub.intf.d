@@ -1,0 +1,1 @@
+lib/graph/transit_stub.mli: Pim_util Topology

@@ -1,0 +1,39 @@
+type node = Topology.node
+
+let spt_max_delay apsp ~senders ~receivers =
+  List.fold_left
+    (fun acc s ->
+      List.fold_left
+        (fun acc r -> if s = r then acc else max acc apsp.(s).(r))
+        acc receivers)
+    0 senders
+
+let cbt_max_delay apsp ~center ~senders ~receivers =
+  List.fold_left
+    (fun acc s ->
+      List.fold_left
+        (fun acc r ->
+          if s = r then acc
+          else
+            let d1 = apsp.(s).(center) and d2 = apsp.(center).(r) in
+            if d1 = max_int || d2 = max_int then max_int else max acc (d1 + d2))
+        acc receivers)
+    0 senders
+
+let optimal apsp ~senders ~receivers =
+  let n = Array.length apsp in
+  let best = ref (-1) and best_delay = ref max_int in
+  for c = 0 to n - 1 do
+    let d = cbt_max_delay apsp ~center:c ~senders ~receivers in
+    if d < !best_delay then begin
+      best := c;
+      best_delay := d
+    end
+  done;
+  if !best < 0 then invalid_arg "Center.optimal: empty graph";
+  (!best, !best_delay)
+
+let tree topo ~center ~members =
+  let spt = Spt.single_source topo center in
+  let edges = Spt.tree_edges topo spt ~members in
+  Tree.of_edges ~n:(Topology.n_nodes topo) edges

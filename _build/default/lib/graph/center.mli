@@ -1,0 +1,32 @@
+(** Optimal center (core) placement for center-based trees.
+
+    Reproduces the tree construction of Figure 2: the center-based tree of a
+    group is the shortest-path tree rooted at a core router, shared by all
+    senders; the {e optimal} core is the node minimising the worst
+    sender-to-receiver delay [d(s,c) + d(c,r)] (Wall's center-based tree,
+    paper reference [11]). *)
+
+type node = Topology.node
+
+val spt_max_delay : int array array -> senders:node list -> receivers:node list -> int
+(** Worst shortest-path delay [max d(s,r)] over sender/receiver pairs
+    with [s <> r].  The matrix is {!Spt.all_pairs}. *)
+
+val cbt_max_delay : int array array -> center:node -> senders:node list -> receivers:node list -> int
+(** Worst delay over the center-based tree: [max (d(s,c) + d(c,r))] over
+    pairs with [s <> r]. *)
+
+val optimal :
+  int array array -> senders:node list -> receivers:node list -> node * int
+(** [optimal apsp ~senders ~receivers] searches every node as candidate
+    core and returns the core with the smallest {!cbt_max_delay} (ties
+    broken toward the smaller node id) together with that delay. *)
+
+val tree :
+  Topology.t ->
+  center:node ->
+  members:node list ->
+  Topology.link_id Tree.t
+(** The center-based tree itself: union of shortest paths from the core to
+    each member, as a {!Tree.t} labelled with link ids.  Used
+    bidirectionally by every sender. *)

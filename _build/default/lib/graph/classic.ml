@@ -1,0 +1,57 @@
+let line ?(cost = 1) ?(delay = 1.0) n =
+  let b = Topology.builder n in
+  for i = 0 to n - 2 do
+    ignore (Topology.add_p2p ~cost ~delay b i (i + 1))
+  done;
+  Topology.freeze b
+
+let ring ?(cost = 1) ?(delay = 1.0) n =
+  let b = Topology.builder n in
+  for i = 0 to n - 1 do
+    ignore (Topology.add_p2p ~cost ~delay b i ((i + 1) mod n))
+  done;
+  Topology.freeze b
+
+let star ?(cost = 1) ?(delay = 1.0) n =
+  let b = Topology.builder n in
+  for i = 1 to n - 1 do
+    ignore (Topology.add_p2p ~cost ~delay b 0 i)
+  done;
+  Topology.freeze b
+
+let grid ?(cost = 1) ?(delay = 1.0) rows cols =
+  let b = Topology.builder (rows * cols) in
+  let id r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c < cols - 1 then ignore (Topology.add_p2p ~cost ~delay b (id r c) (id r (c + 1)));
+      if r < rows - 1 then ignore (Topology.add_p2p ~cost ~delay b (id r c) (id (r + 1) c))
+    done
+  done;
+  Topology.freeze b
+
+let three_domains () =
+  (* Domains A (0..4), B (5..9), C (10..14); backbone 15,16,17.  Gateways
+     are 0, 5 and 10; each domain is a small mesh behind its gateway. *)
+  let b = Topology.builder 18 in
+  let domain base =
+    (* gateway = base; internal ring plus chords *)
+    ignore (Topology.add_p2p b base (base + 1));
+    ignore (Topology.add_p2p b base (base + 3));
+    ignore (Topology.add_p2p b (base + 1) (base + 2));
+    ignore (Topology.add_p2p b (base + 2) (base + 3));
+    ignore (Topology.add_p2p b (base + 2) (base + 4));
+    ignore (Topology.add_p2p b (base + 3) (base + 4))
+  in
+  domain 0;
+  domain 5;
+  domain 10;
+  (* Backbone triangle with higher-cost wide-area links. *)
+  ignore (Topology.add_p2p ~cost:3 ~delay:5.0 b 15 16);
+  ignore (Topology.add_p2p ~cost:3 ~delay:5.0 b 16 17);
+  ignore (Topology.add_p2p ~cost:3 ~delay:5.0 b 15 17);
+  (* Domain gateways to backbone. *)
+  ignore (Topology.add_p2p ~cost:2 ~delay:3.0 b 0 15);
+  ignore (Topology.add_p2p ~cost:2 ~delay:3.0 b 5 16);
+  ignore (Topology.add_p2p ~cost:2 ~delay:3.0 b 10 17);
+  (Topology.freeze b, [ 0; 5; 10 ], [ 15; 16; 17 ])

@@ -1,0 +1,21 @@
+(** Small deterministic topologies used by scenarios, examples and tests. *)
+
+val line : ?cost:int -> ?delay:float -> int -> Topology.t
+(** [line n]: nodes 0-1-2-...-(n-1). *)
+
+val ring : ?cost:int -> ?delay:float -> int -> Topology.t
+
+val star : ?cost:int -> ?delay:float -> int -> Topology.t
+(** [star n]: node 0 is the hub, nodes 1..n-1 are spokes. *)
+
+val grid : ?cost:int -> ?delay:float -> int -> int -> Topology.t
+(** [grid rows cols]: node [r*cols + c] connects to its right and down
+    neighbors. *)
+
+val three_domains : unit -> Topology.t * Topology.node list * Topology.node list
+(** The Figure 1 topology: three 5-router domains (A = 0..4, B = 5..9,
+    C = 10..14) joined by a 3-router wide-area backbone (15..17).  Returns
+    [(topology, domain_gateways, backbone_nodes)].  Domain A's routers are
+    meshed internally and attach to the backbone through their gateway;
+    likewise B and C.  The member routers used in the Figure 1 narrative
+    are 2 (domain A), 7 (domain B) and 12 (domain C). *)

@@ -1,0 +1,116 @@
+type tree = {
+  src : Topology.node;
+  dist : int array;
+  parent : Topology.node option array;
+  via : Topology.link_id option array;
+}
+
+let single_source ?(usable = fun _ _ _ -> true) topo src =
+  let n = Topology.n_nodes topo in
+  let dist = Array.make n max_int in
+  let parent = Array.make n None in
+  let via = Array.make n None in
+  let done_ = Array.make n false in
+  let cmp (d1, n1) (d2, n2) =
+    match Int.compare d1 d2 with 0 -> Int.compare n1 n2 | c -> c
+  in
+  let heap = Pim_util.Heap.create ~cmp in
+  dist.(src) <- 0;
+  Pim_util.Heap.push heap (0, src);
+  let rec loop () =
+    match Pim_util.Heap.pop heap with
+    | None -> ()
+    | Some (d, u) ->
+      if not done_.(u) then begin
+        done_.(u) <- true;
+        Array.iter
+          (fun (_, lid) ->
+            let l = Topology.link topo lid in
+            List.iter
+              (fun v ->
+                let nd = d + l.Topology.cost in
+                if usable u v lid && nd < dist.(v) then begin
+                  dist.(v) <- nd;
+                  parent.(v) <- Some u;
+                  via.(v) <- Some lid;
+                  Pim_util.Heap.push heap (nd, v)
+                end)
+              (Topology.others_on_link topo lid u))
+          (Topology.ifaces topo u);
+        loop ()
+      end
+      else loop ()
+  in
+  loop ();
+  { src; dist; parent; via }
+
+let distance t v = if t.dist.(v) = max_int then None else Some t.dist.(v)
+
+let path t v =
+  if t.dist.(v) = max_int then None
+  else begin
+    let rec up v acc =
+      if v = t.src then v :: acc
+      else
+        match t.parent.(v) with
+        | None -> v :: acc (* v = src handled above; unreachable has no parent *)
+        | Some p -> up p (v :: acc)
+    in
+    Some (up v [])
+  end
+
+let first_hop topo t =
+  let n = Topology.n_nodes topo in
+  let hop = Array.make n None in
+  let hop_iface = Array.make n None in
+  (* Walk parent pointers once per node, memoizing the answer. *)
+  let rec resolve v =
+    if v = t.src then None
+    else
+      match hop.(v) with
+      | Some _ as h -> h
+      | None -> (
+        match t.parent.(v) with
+        | None -> None
+        | Some p ->
+          let answer =
+            if p = t.src then begin
+              (match t.via.(v) with
+              | Some lid -> hop_iface.(v) <- Some (Topology.iface_of_link topo t.src lid)
+              | None -> ());
+              Some v
+            end
+            else begin
+              let h = resolve p in
+              hop_iface.(v) <- hop_iface.(p);
+              h
+            end
+          in
+          hop.(v) <- answer;
+          answer)
+  in
+  for v = 0 to n - 1 do
+    ignore (resolve v)
+  done;
+  (hop, hop_iface)
+
+let tree_edges topo t ~members =
+  ignore topo;
+  let seen = Hashtbl.create 64 in
+  let edges = ref [] in
+  let rec up v =
+    if v <> t.src && not (Hashtbl.mem seen v) then begin
+      Hashtbl.add seen v ();
+      match (t.parent.(v), t.via.(v)) with
+      | Some p, Some lid ->
+        edges := (p, v, lid) :: !edges;
+        up p
+      | _ -> ()
+    end
+  in
+  List.iter (fun m -> if t.dist.(m) <> max_int then up m) members;
+  List.rev !edges
+
+let all_pairs topo =
+  let n = Topology.n_nodes topo in
+  Array.init n (fun u -> (single_source topo u).dist)

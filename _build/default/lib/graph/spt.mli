@@ -1,0 +1,45 @@
+(** Shortest-path trees (Dijkstra) over a frozen topology.
+
+    These are the SPTs of the paper: the tree rooted at a source over which
+    PIM delivers data once receivers switch off the shared tree, and the
+    yardstick against which center-based trees are compared in Figure 2. *)
+
+type tree = {
+  src : Topology.node;
+  dist : int array;  (** cost from [src]; [max_int] when unreachable *)
+  parent : Topology.node option array;  (** predecessor on the shortest path *)
+  via : Topology.link_id option array;  (** link used to reach the node from its parent *)
+}
+
+val single_source :
+  ?usable:(Topology.node -> Topology.node -> Topology.link_id -> bool) ->
+  Topology.t ->
+  Topology.node ->
+  tree
+(** Dijkstra from [src].  Ties are broken toward smaller node ids, so the
+    result is deterministic.  [usable u v lid] (default: always true) gates
+    each directed edge, letting callers exclude failed links or nodes. *)
+
+val distance : tree -> Topology.node -> int option
+(** [None] when unreachable. *)
+
+val path : tree -> Topology.node -> Topology.node list option
+(** Node sequence from the root to the given node, inclusive. *)
+
+val first_hop : Topology.t -> tree -> (Topology.node option array * Topology.iface option array)
+(** For every destination, the neighbor and root-side interface of the first
+    link on the shortest path from the root.  Used to derive unicast
+    forwarding tables. *)
+
+val tree_edges :
+  Topology.t ->
+  tree ->
+  members:Topology.node list ->
+  (Topology.node * Topology.node * Topology.link_id) list
+(** The union of the shortest paths from the root to each member: the
+    source-rooted distribution tree, as (parent, child, link) triples,
+    deduplicated. *)
+
+val all_pairs : Topology.t -> int array array
+(** [all_pairs t] gives the full distance matrix ([max_int] when
+    unreachable). *)

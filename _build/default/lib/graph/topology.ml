@@ -1,0 +1,126 @@
+type node = int
+
+type link_id = int
+
+type iface = int
+
+type link = {
+  id : link_id;
+  ends : node array;
+  cost : int;
+  delay : float;
+  is_lan : bool;
+}
+
+type t = {
+  n : int;
+  links : link array;
+  adj : (iface * link_id) array array;  (* per node, indexed by iface *)
+}
+
+type builder = {
+  bn : int;
+  mutable blinks : link list;  (* reversed *)
+  mutable count : int;
+}
+
+let builder n =
+  assert (n > 0);
+  { bn = n; blinks = []; count = 0 }
+
+let check_node b u =
+  if u < 0 || u >= b.bn then invalid_arg (Printf.sprintf "Topology: node %d out of range" u)
+
+let add_link b ends ~cost ~delay ~is_lan =
+  List.iter (check_node b) (Array.to_list ends);
+  let id = b.count in
+  b.blinks <- { id; ends; cost; delay; is_lan } :: b.blinks;
+  b.count <- b.count + 1;
+  id
+
+let add_p2p ?(cost = 1) ?(delay = 1.0) b u v =
+  if u = v then invalid_arg "Topology.add_p2p: self loop";
+  add_link b [| u; v |] ~cost ~delay ~is_lan:false
+
+let add_lan ?(cost = 1) ?(delay = 1.0) b nodes =
+  if nodes = [] then invalid_arg "Topology.add_lan: empty LAN";
+  let sorted = List.sort_uniq Int.compare nodes in
+  if List.length sorted <> List.length nodes then invalid_arg "Topology.add_lan: duplicate node";
+  add_link b (Array.of_list nodes) ~cost ~delay ~is_lan:true
+
+let freeze b =
+  let links = Array.of_list (List.rev b.blinks) in
+  let counts = Array.make b.bn 0 in
+  Array.iter (fun l -> Array.iter (fun u -> counts.(u) <- counts.(u) + 1) l.ends) links;
+  let adj = Array.init b.bn (fun u -> Array.make counts.(u) (0, 0)) in
+  let next = Array.make b.bn 0 in
+  Array.iter
+    (fun l ->
+      Array.iter
+        (fun u ->
+          adj.(u).(next.(u)) <- (next.(u), l.id);
+          next.(u) <- next.(u) + 1)
+        l.ends)
+    links;
+  { n = b.bn; links; adj }
+
+let n_nodes t = t.n
+
+let n_links t = Array.length t.links
+
+let link t lid = t.links.(lid)
+
+let links t = t.links
+
+let ifaces t u = t.adj.(u)
+
+let link_of_iface t u i =
+  if i < 0 || i >= Array.length t.adj.(u) then
+    invalid_arg (Printf.sprintf "Topology.link_of_iface: node %d has no iface %d" u i);
+  let _, lid = t.adj.(u).(i) in
+  t.links.(lid)
+
+let iface_of_link_opt t u lid =
+  let arr = t.adj.(u) in
+  let rec find i =
+    if i >= Array.length arr then None
+    else
+      let iface, l = arr.(i) in
+      if l = lid then Some iface else find (i + 1)
+  in
+  find 0
+
+let iface_of_link t u lid =
+  match iface_of_link_opt t u lid with Some i -> i | None -> raise Not_found
+
+let others_on_link t lid u =
+  let l = t.links.(lid) in
+  Array.to_list l.ends |> List.filter (fun v -> v <> u)
+
+let neighbors t u =
+  Array.to_list t.adj.(u)
+  |> List.concat_map (fun (iface, lid) ->
+         List.map (fun v -> (iface, v)) (others_on_link t lid u))
+
+let degree t u = Array.length t.adj.(u)
+
+let connected t =
+  let seen = Array.make t.n false in
+  let rec dfs u =
+    if not seen.(u) then begin
+      seen.(u) <- true;
+      List.iter (fun (_, v) -> dfs v) (neighbors t u)
+    end
+  in
+  dfs 0;
+  Array.for_all Fun.id seen
+
+let pp ppf t =
+  Format.fprintf ppf "topology: %d nodes, %d links@." t.n (Array.length t.links);
+  Array.iter
+    (fun l ->
+      let ends = String.concat "," (List.map string_of_int (Array.to_list l.ends)) in
+      Format.fprintf ppf "  link %d%s: {%s} cost=%d delay=%.3f@." l.id
+        (if l.is_lan then " (lan)" else "")
+        ends l.cost l.delay)
+    t.links

@@ -1,0 +1,80 @@
+(** Network topologies: routers connected by point-to-point links and
+    multi-access LANs.
+
+    A topology is built once through a {!builder} and then frozen; the
+    frozen value exposes array-backed adjacency suitable for the inner
+    loops of Dijkstra and of the simulator.
+
+    Nodes are integers [0 .. n_nodes-1] and model routers.  Every
+    (node, link) incidence is an {e interface}, numbered densely per node in
+    link-creation order — the same numbering the paper uses when it talks
+    about incoming and outgoing interface lists of multicast forwarding
+    entries. *)
+
+type node = int
+
+type link_id = int
+
+type iface = int
+(** Interface number, local to a node. *)
+
+type link = {
+  id : link_id;
+  ends : node array;  (** two nodes for point-to-point, two or more for a LAN *)
+  cost : int;  (** unicast routing metric *)
+  delay : float;  (** propagation delay in simulated seconds *)
+  is_lan : bool;
+}
+
+type t
+
+type builder
+
+val builder : int -> builder
+(** [builder n] starts a topology with [n] router nodes and no links. *)
+
+val add_p2p : ?cost:int -> ?delay:float -> builder -> node -> node -> link_id
+(** Add a point-to-point link.  Default cost 1, default delay 1.0. *)
+
+val add_lan : ?cost:int -> ?delay:float -> builder -> node list -> link_id
+(** Add a multi-access LAN joining the given routers (at least one; a
+    single-router LAN is a stub subnet where hosts live). *)
+
+val freeze : builder -> t
+
+(** {1 Queries on a frozen topology} *)
+
+val n_nodes : t -> int
+
+val n_links : t -> int
+
+val link : t -> link_id -> link
+
+val links : t -> link array
+
+val ifaces : t -> node -> (iface * link_id) array
+(** All interfaces of a node, in interface order. *)
+
+val link_of_iface : t -> node -> iface -> link
+(** @raise Invalid_argument if the interface does not exist. *)
+
+val iface_of_link : t -> node -> link_id -> iface
+(** The interface of [node] on [link].
+    @raise Not_found if [node] is not on that link. *)
+
+val iface_of_link_opt : t -> node -> link_id -> iface option
+
+val neighbors : t -> node -> (iface * node) list
+(** Every (interface, neighbor) adjacency; a LAN with [k] other routers
+    contributes [k] pairs on the same interface. *)
+
+val others_on_link : t -> link_id -> node -> node list
+(** The other routers on a link. *)
+
+val degree : t -> node -> int
+(** Number of interfaces. *)
+
+val connected : t -> bool
+(** Whole-topology connectivity (over links regardless of cost). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,72 @@
+module Prng = Pim_util.Prng
+
+type t = {
+  topo : Topology.t;
+  transit : Topology.node list;
+  gateways : Topology.node list;
+  stubs : Topology.node list list;
+}
+
+let generate ?(transit = 4) ?(stubs_per_transit = 2) ?(stub_size = 4) ?(backbone_cost = 3)
+    ?(backbone_delay = 5.) ?(access_cost = 2) ?(access_delay = 3.) ~prng () =
+  if transit < 1 || stubs_per_transit < 1 || stub_size < 1 then
+    invalid_arg "Transit_stub.generate: sizes must be positive";
+  let total = transit + (transit * stubs_per_transit * stub_size) in
+  let b = Topology.builder total in
+  (* Backbone: ring plus a few random chords for path diversity. *)
+  let transit_nodes = List.init transit Fun.id in
+  if transit > 1 then begin
+    for i = 0 to transit - 1 do
+      if transit > 2 || i < transit - 1 then
+        ignore
+          (Topology.add_p2p ~cost:backbone_cost ~delay:backbone_delay b i ((i + 1) mod transit))
+    done;
+    if transit >= 4 then
+      for _ = 1 to transit / 2 do
+        let u = Prng.int prng transit and v = Prng.int prng transit in
+        if
+          u <> v
+          && (not (abs (u - v) = 1))
+          && not (abs (u - v) = transit - 1)
+        then ignore (Topology.add_p2p ~cost:backbone_cost ~delay:backbone_delay b u v)
+      done
+  end;
+  (* Stub domains: a random connected graph behind one gateway. *)
+  let next = ref transit in
+  let stubs = ref [] in
+  let gateways = ref [] in
+  List.iter
+    (fun tnode ->
+      for _ = 1 to stubs_per_transit do
+        let base = !next in
+        next := !next + stub_size;
+        let members = List.init stub_size (fun k -> base + k) in
+        (* Spanning tree inside the stub... *)
+        for k = 1 to stub_size - 1 do
+          let parent = base + Prng.int prng k in
+          ignore (Topology.add_p2p b (base + k) parent)
+        done;
+        (* ...plus a chord when the stub is big enough. *)
+        if stub_size >= 4 then begin
+          let u = base + Prng.int prng stub_size and v = base + Prng.int prng stub_size in
+          if u <> v then ignore (Topology.add_p2p b u v)
+        end;
+        (* Gateway = first router of the stub, attached to its transit. *)
+        ignore (Topology.add_p2p ~cost:access_cost ~delay:access_delay b base tnode);
+        gateways := base :: !gateways;
+        stubs := members :: !stubs
+      done)
+    transit_nodes;
+  {
+    topo = Topology.freeze b;
+    transit = transit_nodes;
+    gateways = List.rev !gateways;
+    stubs = List.rev !stubs;
+  }
+
+let random_stub_member t ~prng =
+  let candidates =
+    List.concat_map (function _gw :: rest when rest <> [] -> rest | stub -> stub) t.stubs
+  in
+  let arr = Array.of_list candidates in
+  Prng.pick prng arr

@@ -1,0 +1,101 @@
+type node = Topology.node
+
+type 'label t = {
+  n : int;
+  adj : (node * 'label) list array;
+  on_tree : bool array;
+  edge_list : (node * node * 'label) list;
+}
+
+let of_edges ~n edge_list =
+  let adj = Array.make n [] in
+  let on_tree = Array.make n false in
+  List.iter
+    (fun (u, v, lbl) ->
+      if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Tree.of_edges: node out of range";
+      adj.(u) <- (v, lbl) :: adj.(u);
+      adj.(v) <- (u, lbl) :: adj.(v);
+      on_tree.(u) <- true;
+      on_tree.(v) <- true)
+    edge_list;
+  (* Acyclicity check: edges = nodes-on-tree - components. *)
+  let seen = Array.make n false in
+  let components = ref 0 in
+  let rec dfs u =
+    seen.(u) <- true;
+    List.iter (fun (v, _) -> if not seen.(v) then dfs v) adj.(u)
+  in
+  for u = 0 to n - 1 do
+    if on_tree.(u) && not seen.(u) then begin
+      incr components;
+      dfs u
+    end
+  done;
+  let on_count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 on_tree in
+  if List.length edge_list <> on_count - !components then invalid_arg "Tree.of_edges: edges contain a cycle";
+  { n; adj; on_tree; edge_list }
+
+let mem_node t u = u >= 0 && u < t.n && t.on_tree.(u)
+
+let n_edges t = List.length t.edge_list
+
+let edges t = t.edge_list
+
+let path t a b =
+  if not (mem_node t a && mem_node t b) then None
+  else if a = b then Some ([ a ], [])
+  else begin
+    (* BFS from a recording predecessors. *)
+    let pred = Array.make t.n None in
+    let seen = Array.make t.n false in
+    seen.(a) <- true;
+    let q = Queue.create () in
+    Queue.add a q;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun (v, lbl) ->
+          if not seen.(v) then begin
+            seen.(v) <- true;
+            pred.(v) <- Some (u, lbl);
+            if v = b then found := true else Queue.add v q
+          end)
+        t.adj.(u)
+    done;
+    if not !found then None
+    else begin
+      let rec up v nodes labels =
+        match pred.(v) with
+        | None -> (v :: nodes, labels)
+        | Some (u, lbl) -> up u (v :: nodes) (lbl :: labels)
+      in
+      Some (up b [] [])
+    end
+  end
+
+let path_length t a b = Option.map (fun (_, labels) -> List.length labels) (path t a b)
+
+let covered_labels t ~src ~targets =
+  if not (mem_node t src) then []
+  else begin
+    let wanted = Array.make t.n false in
+    List.iter (fun v -> if v <> src && mem_node t v then wanted.(v) <- true) targets;
+    let acc = ref [] in
+    (* DFS from src; an edge is covered iff its far-side subtree contains a
+       target. *)
+    let rec descend u parent =
+      let hits = ref (if wanted.(u) then 1 else 0) in
+      List.iter
+        (fun (v, lbl) ->
+          if v <> parent then begin
+            let sub = descend v u in
+            if sub > 0 then acc := lbl :: !acc;
+            hits := !hits + sub
+          end)
+        t.adj.(u);
+      !hits
+    in
+    ignore (descend src (-1));
+    !acc
+  end

@@ -1,0 +1,35 @@
+(** Undirected distribution trees over a subset of topology nodes.
+
+    A tree is described by labelled edges (the label is typically the
+    topology link id).  The module answers the questions the Figure 2(b)
+    traffic-concentration experiment needs: which tree edges does a given
+    sender's traffic cover, and what is the tree path between two nodes. *)
+
+type node = Topology.node
+
+type 'label t
+
+val of_edges : n:int -> (node * node * 'label) list -> 'label t
+(** [of_edges ~n edges] builds the tree.  [n] is the topology size (node
+    ids must be below [n]).  The edge set must be acyclic; nodes absent
+    from every edge are simply not on the tree. *)
+
+val mem_node : 'label t -> node -> bool
+
+val n_edges : 'label t -> int
+
+val edges : 'label t -> (node * node * 'label) list
+
+val path : 'label t -> node -> node -> (node list * 'label list) option
+(** Unique tree path between two on-tree nodes: the node sequence and the
+    labels of traversed edges.  [None] if either endpoint is off-tree or in
+    a different component. *)
+
+val path_length : 'label t -> node -> node -> int option
+(** Number of edges on the tree path. *)
+
+val covered_labels : 'label t -> src:node -> targets:node list -> 'label list
+(** Labels of the edges lying on the union of tree paths from [src] to each
+    target — i.e. the links that carry [src]'s traffic when it is
+    distributed over this tree to those targets.  Targets equal to [src]
+    or off-tree are ignored. *)

@@ -1,0 +1,1 @@
+lib/igmp/host.ml: List Message Option Pim_mcast Pim_net Pim_sim Pim_util Set

@@ -1,0 +1,1 @@
+lib/igmp/host.mli: Pim_graph Pim_net Pim_sim

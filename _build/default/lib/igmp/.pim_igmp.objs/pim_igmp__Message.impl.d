@@ -1,0 +1,1 @@
+lib/igmp/message.ml: List Pim_net Printf

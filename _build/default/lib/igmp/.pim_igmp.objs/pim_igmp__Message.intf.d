@@ -1,0 +1,1 @@
+lib/igmp/message.mli: Pim_net

@@ -1,0 +1,1 @@
+lib/igmp/router.ml: Array Hashtbl Int List Message Option Pim_graph Pim_net Pim_sim

@@ -1,0 +1,1 @@
+lib/igmp/router.mli: Pim_graph Pim_net Pim_sim

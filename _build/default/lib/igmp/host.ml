@@ -1,0 +1,104 @@
+module Net = Pim_sim.Net
+module Engine = Pim_sim.Engine
+module Packet = Pim_net.Packet
+module Addr = Pim_net.Addr
+module Group = Pim_net.Group
+
+module GroupSet = Set.Make (Group)
+
+type t = {
+  net : Net.t;
+  eng : Engine.t;
+  addr : Addr.t;
+  prng : Pim_util.Prng.t;
+  unsolicited : bool;
+  rps_for : Group.t -> Addr.t list;
+  mutable hid : Net.host_id option;
+  mutable groups : GroupSet.t;
+  mutable pending : GroupSet.t;  (* reports scheduled but not yet sent *)
+  mutable data_cbs : (Packet.t -> unit) list;
+  mutable seq : int;
+  mutable sent : int;
+}
+
+let send_report t g =
+  let pkt = Message.report_packet ~src:t.addr ~group:g ~rps:(t.rps_for g) () in
+  match t.hid with Some hid -> Net.host_send t.net hid pkt | None -> ()
+
+let handle_query t (q : Message.query) =
+  (* Schedule a randomly delayed report for each joined group the query
+     covers; cancel it if we overhear another member's report first. *)
+  let covered g =
+    match q.Message.group with None -> true | Some qg -> Group.equal qg g
+  in
+  GroupSet.iter
+    (fun g ->
+      if covered g && not (GroupSet.mem g t.pending) then begin
+        t.pending <- GroupSet.add g t.pending;
+        let delay = Pim_util.Prng.float t.prng (max 0.001 q.Message.max_resp) in
+        ignore
+          (Engine.schedule t.eng ~after:delay (fun () ->
+               if GroupSet.mem g t.pending then begin
+                 t.pending <- GroupSet.remove g t.pending;
+                 if GroupSet.mem g t.groups then send_report t g
+               end))
+      end)
+    t.groups
+
+let handle_packet t pkt =
+  match pkt.Packet.payload with
+  | Message.Query q -> handle_query t q
+  | Message.Report r ->
+    (* Report suppression: someone else answered for this group. *)
+    t.pending <- GroupSet.remove r.Message.group t.pending
+  | Pim_mcast.Mdata.Data _ -> (
+    match pkt.Packet.dst with
+    | Packet.Multicast g when GroupSet.mem g t.groups ->
+      List.iter (fun f -> f pkt) t.data_cbs
+    | _ -> ())
+  | _ -> ()
+
+let create ?seed ?(unsolicited = true) ?(rps_for = fun _ -> []) net ~link ~addr () =
+  let seed = Option.value seed ~default:(Addr.hash addr) in
+  let t =
+    {
+      net;
+      eng = Net.engine net;
+      addr;
+      prng = Pim_util.Prng.create seed;
+      unsolicited;
+      rps_for;
+      hid = None;
+      groups = GroupSet.empty;
+      pending = GroupSet.empty;
+      data_cbs = [];
+      seq = 0;
+      sent = 0;
+    }
+  in
+  t.hid <- Some (Net.attach_host net link ~addr (fun pkt -> handle_packet t pkt));
+  t
+
+let addr t = t.addr
+
+let join t g =
+  if not (GroupSet.mem g t.groups) then begin
+    t.groups <- GroupSet.add g t.groups;
+    if t.unsolicited then send_report t g
+  end
+
+let leave t g = t.groups <- GroupSet.remove g t.groups
+
+let member_of t g = GroupSet.mem g t.groups
+
+let on_data t f = t.data_cbs <- t.data_cbs @ [ f ]
+
+let send_data t ~group ?size () =
+  let pkt =
+    Pim_mcast.Mdata.make ~src:t.addr ~group ~seq:t.seq ~sent_at:(Engine.now t.eng) ?size ()
+  in
+  t.seq <- t.seq + 1;
+  t.sent <- t.sent + 1;
+  match t.hid with Some hid -> Net.host_send t.net hid pkt | None -> ()
+
+let sent t = t.sent

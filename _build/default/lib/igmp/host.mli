@@ -1,0 +1,43 @@
+(** Simulated end hosts.
+
+    A host lives on a (stub) LAN, answers IGMP queries for the groups it
+    has joined — with the classic random response delay and report
+    suppression, so one report per group per query suffices on a shared
+    subnet — and hands received multicast data to a callback.  Hosts can
+    also originate data to a group (senders need not be members: the
+    traditional IP multicast service model the paper preserves). *)
+
+type t
+
+val create :
+  ?seed:int ->
+  ?unsolicited:bool ->
+  ?rps_for:(Pim_net.Group.t -> Pim_net.Addr.t list) ->
+  Pim_sim.Net.t ->
+  link:Pim_graph.Topology.link_id ->
+  addr:Pim_net.Addr.t ->
+  unit ->
+  t
+(** [unsolicited] (default true): send a report immediately on {!join}
+    rather than waiting for the next query.  [rps_for] supplies the G->RP
+    list carried on reports (section 3.1's host-supplied mapping). *)
+
+val addr : t -> Pim_net.Addr.t
+
+val join : t -> Pim_net.Group.t -> unit
+
+val leave : t -> Pim_net.Group.t -> unit
+(** Silent leave: membership simply stops being refreshed (IGMPv1
+    semantics; the router ages it out). *)
+
+val member_of : t -> Pim_net.Group.t -> bool
+
+val on_data : t -> (Pim_net.Packet.t -> unit) -> unit
+(** Callback fired for every data packet received for a joined group. *)
+
+val send_data : t -> group:Pim_net.Group.t -> ?size:int -> unit -> unit
+(** Originate one data packet to the group (auto-incrementing sequence
+    number, stamped with the current simulation time). *)
+
+val sent : t -> int
+(** Number of data packets originated. *)

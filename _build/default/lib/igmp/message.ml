@@ -1,0 +1,39 @@
+module Packet = Pim_net.Packet
+module Addr = Pim_net.Addr
+module Group = Pim_net.Group
+
+type query = {
+  group : Group.t option;
+  max_resp : float;
+}
+
+type report = {
+  group : Group.t;
+  rps : Addr.t list;
+}
+
+type Packet.payload +=
+  | Query of query
+  | Report of report
+
+let () =
+  Packet.register_printer (function
+    | Query { group; _ } ->
+      Some
+        (Printf.sprintf "igmp-query %s"
+           (match group with None -> "general" | Some g -> Group.to_string g))
+    | Report { group; _ } -> Some (Printf.sprintf "igmp-report %s" (Group.to_string group))
+    | _ -> None)
+
+(* 224.0.0.1: all-systems on this subnet. *)
+let all_systems = Group.of_addr_exn (Addr.of_octets 224 0 0 1)
+
+let query_packet ~src ?group ~max_resp () =
+  let dst = match group with None -> all_systems | Some g -> g in
+  Packet.multicast ~src ~group:dst ~ttl:1 ~size:8 (Query { group; max_resp })
+
+let report_packet ~src ~group ?(rps = []) () =
+  Packet.multicast ~src ~group ~ttl:1 ~size:(8 + (4 * List.length rps)) (Report { group; rps })
+
+let is_igmp pkt =
+  match pkt.Packet.payload with Query _ | Report _ -> true | _ -> false

@@ -1,0 +1,28 @@
+(** IGMP messages (host membership protocol, paper reference [5] /
+    RFC 1112).
+
+    Hosts report group membership in response to router queries; routers
+    use the reports to learn of members on directly attached subnetworks
+    (paper section 3.1).  The optional RP list on a report models the
+    "new IGMP message used by hosts to distribute information about RPs to
+    their local routers" that section 3 proposes for dynamic groups. *)
+
+type query = {
+  group : Pim_net.Group.t option;  (** [None] = general query *)
+  max_resp : float;  (** response-delay bound for hosts *)
+}
+
+type report = {
+  group : Pim_net.Group.t;
+  rps : Pim_net.Addr.t list;  (** optional G->RP mapping advertisement *)
+}
+
+type Pim_net.Packet.payload +=
+  | Query of query
+  | Report of report
+
+val query_packet : src:Pim_net.Addr.t -> ?group:Pim_net.Group.t -> max_resp:float -> unit -> Pim_net.Packet.t
+
+val report_packet : src:Pim_net.Addr.t -> group:Pim_net.Group.t -> ?rps:Pim_net.Addr.t list -> unit -> Pim_net.Packet.t
+
+val is_igmp : Pim_net.Packet.t -> bool

@@ -1,0 +1,1 @@
+lib/interop/border.ml: Pim_core Pim_dense Pim_graph Pim_net Set

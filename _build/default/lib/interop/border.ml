@@ -1,0 +1,35 @@
+module Group = Pim_net.Group
+
+module GroupSet = Set.Make (Group)
+
+type t = {
+  pim : Pim_core.Router.t;
+  dense : Pim_dense.Router.t;
+  internal_iface : Pim_graph.Topology.iface;
+  mutable joined : GroupSet.t;
+}
+
+let create ~pim ~dense ~internal_iface () =
+  let t = { pim; dense; internal_iface; joined = GroupSet.empty } in
+  (* Region sources look locally originated to the sparse half: register
+     them to the RPs (proxying, section 4). *)
+  Pim_core.Router.add_proxy_iface pim internal_iface;
+  (* Member existence information drives explicit joins. *)
+  Pim_dense.Router.on_region_change dense (fun g present ->
+      if present then begin
+        if not (GroupSet.mem g t.joined) then begin
+          t.joined <- GroupSet.add g t.joined;
+          Pim_core.Router.join_on_iface pim g ~iface:internal_iface
+        end
+      end
+      else if GroupSet.mem g t.joined then begin
+        t.joined <- GroupSet.remove g t.joined;
+        Pim_core.Router.leave_on_iface pim g ~iface:internal_iface
+      end);
+  t
+
+let pim t = t.pim
+
+let dense t = t.dense
+
+let joined_groups t = GroupSet.elements t.joined

@@ -1,0 +1,53 @@
+(** Dense/sparse-mode interoperation (section 4 of the paper).
+
+    "The primary issue in splicing dense mode regions onto a distribution
+    tree comprised ... of sparse mode regions, is the incompatibility
+    between the data driven nature of dense mode, and the explicit join
+    nature of sparse mode. ... We are working on a mechanism to address
+    this problem that relies on getting the group member existence
+    information to the border routers, and having border routers send
+    explicit joins."
+
+    This module implements that mechanism.  A border router is modelled as
+    two halves joined by an internal link:
+
+    - a sparse half running full PIM-SM on the wide-area side, and
+    - a dense half inside the flood-and-prune region, with membership
+      advertisements enabled ({!Pim_dense.Router.config}'s
+      [advertise_members]).
+
+    The glue:
+
+    - when the dense region gains its first member of a group, the sparse
+      half sends an explicit PIM join toward the group's RP with the
+      internal link as the shared-tree oif — wide-area data then flows
+      over the internal link and is reverse-path flooded inside the
+      region;
+    - when the region's last member leaves, the sparse half leaves the
+      shared tree and the oif ages out;
+    - sources inside the region flood region-wide as usual; their data
+      crosses the internal link and the sparse half — acting as the
+      region's proxy DR ("BRs would join a PIM tree externally and inject
+      themselves as sources internally") — registers it to the RPs, so
+      external receivers can join toward it. *)
+
+type t
+
+val create :
+  pim:Pim_core.Router.t ->
+  dense:Pim_dense.Router.t ->
+  internal_iface:Pim_graph.Topology.iface ->
+  unit ->
+  t
+(** [create ~pim ~dense ~internal_iface ()] wires the two halves of one
+    border router.  [internal_iface] is the {e sparse half's} interface on
+    the link connecting the halves.  The dense half must have
+    [advertise_members] enabled, or the border will never learn of region
+    members. *)
+
+val pim : t -> Pim_core.Router.t
+
+val dense : t -> Pim_dense.Router.t
+
+val joined_groups : t -> Pim_net.Group.t list
+(** Groups the border has currently joined on the region's behalf. *)

@@ -1,0 +1,1 @@
+lib/mcast/delivery.ml: Hashtbl Int List Pim_net

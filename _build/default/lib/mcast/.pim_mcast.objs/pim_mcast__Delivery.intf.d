@@ -1,0 +1,1 @@
+lib/mcast/delivery.mli: Pim_net

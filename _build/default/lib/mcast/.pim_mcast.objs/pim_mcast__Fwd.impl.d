@@ -1,0 +1,1 @@
+lib/mcast/fwd.ml: Format Hashtbl Int List Pim_graph Pim_net Printf String

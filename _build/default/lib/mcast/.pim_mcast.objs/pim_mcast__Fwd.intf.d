@@ -1,0 +1,1 @@
+lib/mcast/fwd.mli: Format Pim_graph Pim_net

@@ -1,0 +1,1 @@
+lib/mcast/mdata.ml: Pim_net Printf

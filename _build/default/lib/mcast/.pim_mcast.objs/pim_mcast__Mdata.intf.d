@@ -1,0 +1,1 @@
+lib/mcast/mdata.mli: Pim_net

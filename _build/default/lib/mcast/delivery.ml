@@ -1,0 +1,46 @@
+module Group = Pim_net.Group
+module Addr = Pim_net.Addr
+
+type key = Group.t * Addr.t * int
+
+type reception = {
+  receiver : int;
+  delay : float;
+}
+
+type t = { tbl : (key, reception list ref) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 256 }
+
+let record t ~group ~src ~seq ~receiver ~sent_at ~at =
+  let k = (group, src, seq) in
+  let cell =
+    match Hashtbl.find_opt t.tbl k with
+    | Some c -> c
+    | None ->
+      let c = ref [] in
+      Hashtbl.replace t.tbl k c;
+      c
+  in
+  cell := { receiver; delay = at -. sent_at } :: !cell
+
+let find t ~group ~src ~seq =
+  match Hashtbl.find_opt t.tbl (group, src, seq) with Some c -> !c | None -> []
+
+let receivers t ~group ~src ~seq =
+  find t ~group ~src ~seq |> List.map (fun r -> r.receiver) |> List.sort_uniq Int.compare
+
+let copies t ~group ~src ~seq ~receiver =
+  find t ~group ~src ~seq |> List.filter (fun r -> r.receiver = receiver) |> List.length
+
+let delays t =
+  Hashtbl.fold (fun _ c acc -> List.rev_append (List.map (fun r -> r.delay) !c) acc) t.tbl []
+
+let delay_of t ~group ~src ~seq ~receiver =
+  find t ~group ~src ~seq
+  |> List.filter (fun r -> r.receiver = receiver)
+  |> List.fold_left (fun acc r -> match acc with None -> Some r.delay | Some d -> Some (min d r.delay)) None
+
+let total t = Hashtbl.fold (fun _ c acc -> acc + List.length !c) t.tbl 0
+
+let clear t = Hashtbl.reset t.tbl

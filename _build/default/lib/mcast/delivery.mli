@@ -1,0 +1,36 @@
+(** Delivery bookkeeping for experiments and tests.
+
+    Records which member (router or host, identified by an integer id)
+    received which data packet and when, so tests can assert complete,
+    duplicate-free delivery and experiments can measure end-to-end delay. *)
+
+type t
+
+val create : unit -> t
+
+val record :
+  t ->
+  group:Pim_net.Group.t ->
+  src:Pim_net.Addr.t ->
+  seq:int ->
+  receiver:int ->
+  sent_at:float ->
+  at:float ->
+  unit
+
+val receivers : t -> group:Pim_net.Group.t -> src:Pim_net.Addr.t -> seq:int -> int list
+(** Sorted, deduplicated receiver ids of one packet. *)
+
+val copies : t -> group:Pim_net.Group.t -> src:Pim_net.Addr.t -> seq:int -> receiver:int -> int
+(** How many copies the receiver got (1 = no duplicates). *)
+
+val delays : t -> float list
+(** All recorded end-to-end delays. *)
+
+val delay_of : t -> group:Pim_net.Group.t -> src:Pim_net.Addr.t -> seq:int -> receiver:int -> float option
+(** Delay of the first copy. *)
+
+val total : t -> int
+(** Total recorded receptions (copies included). *)
+
+val clear : t -> unit

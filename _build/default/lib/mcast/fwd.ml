@@ -1,0 +1,141 @@
+module Group = Pim_net.Group
+module Addr = Pim_net.Addr
+
+type oif = {
+  iface : Pim_graph.Topology.iface;
+  mutable expires : float;
+  mutable local : bool;
+}
+
+type entry = {
+  group : Group.t;
+  source : Addr.t option;
+  mutable rp : Addr.t option;
+  mutable iif : Pim_graph.Topology.iface option;
+  mutable oifs : oif list;
+  mutable wc_bit : bool;
+  mutable rp_bit : bool;
+  mutable spt_bit : bool;
+  mutable expires : float;
+  mutable rp_deadline : float;
+}
+
+let make_star ~group ~rp ~iif ~expires =
+  {
+    group;
+    source = None;
+    rp = Some rp;
+    iif;
+    oifs = [];
+    wc_bit = true;
+    rp_bit = true;
+    spt_bit = false;
+    expires;
+    rp_deadline = infinity;
+  }
+
+let make_sg ~group ~source ?rp ?(rp_bit = false) ~iif ~expires () =
+  {
+    group;
+    source = Some source;
+    rp;
+    iif;
+    oifs = [];
+    wc_bit = false;
+    rp_bit;
+    spt_bit = false;
+    expires;
+    rp_deadline = infinity;
+  }
+
+let is_star e = e.source = None
+
+let key e = (e.group, e.source)
+
+let find_oif e iface = List.find_opt (fun o -> o.iface = iface) e.oifs
+
+let add_oif e iface ~expires ~local =
+  match find_oif e iface with
+  | Some o ->
+    o.expires <- max o.expires expires;
+    o.local <- o.local || local
+  | None -> e.oifs <- { iface; expires; local } :: e.oifs
+
+let remove_oif e iface = e.oifs <- List.filter (fun o -> o.iface <> iface) e.oifs
+
+let live_oifs e ~now =
+  e.oifs
+  |> List.filter (fun o -> (o.local || o.expires > now) && Some o.iface <> e.iif)
+  |> List.map (fun o -> o.iface)
+  |> List.sort Int.compare
+
+let prune_expired_oifs e ~now =
+  let before = List.length e.oifs in
+  e.oifs <- List.filter (fun o -> o.local || o.expires > now) e.oifs;
+  List.length e.oifs <> before
+
+let pp_entry ppf e =
+  let src =
+    match e.source with None -> "*" | Some s -> Addr.to_string s
+  in
+  let flags =
+    String.concat ""
+      [
+        (if e.wc_bit then "W" else "");
+        (if e.rp_bit then "R" else "");
+        (if e.spt_bit then "S" else "");
+      ]
+  in
+  let oifs =
+    String.concat ","
+      (List.map
+         (fun o -> Printf.sprintf "%d%s" o.iface (if o.local then "(loc)" else ""))
+         (List.sort (fun a b -> Int.compare a.iface b.iface) e.oifs))
+  in
+  Format.fprintf ppf "(%s, %s) iif=%s oifs={%s} flags=%s rp=%s" src
+    (Group.to_string e.group)
+    (match e.iif with None -> "-" | Some i -> string_of_int i)
+    oifs flags
+    (match e.rp with None -> "-" | Some rp -> Addr.to_string rp)
+
+type t = { tbl : (Group.t * Addr.t option, entry) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let find_sg t g s = Hashtbl.find_opt t.tbl (g, Some s)
+
+let find_star t g = Hashtbl.find_opt t.tbl (g, None)
+
+let match_data t g ~src =
+  match find_sg t g src with Some e -> Some e | None -> find_star t g
+
+let insert t e =
+  let k = key e in
+  if Hashtbl.mem t.tbl k then invalid_arg "Fwd.insert: duplicate entry";
+  Hashtbl.replace t.tbl k e
+
+let remove t g s = Hashtbl.remove t.tbl (g, s)
+
+let entries t = Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl []
+
+let group_entries t g =
+  entries t
+  |> List.filter (fun e -> Group.equal e.group g)
+  |> List.sort (fun a b ->
+         match (a.source, b.source) with
+         | None, None -> 0
+         | None, Some _ -> -1
+         | Some _, None -> 1
+         | Some x, Some y -> Addr.compare x y)
+
+let count t = Hashtbl.length t.tbl
+
+let pp ppf t =
+  let sorted =
+    entries t
+    |> List.sort (fun a b ->
+           match Group.compare a.group b.group with
+           | 0 -> compare a.source b.source
+           | c -> c)
+  in
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) sorted

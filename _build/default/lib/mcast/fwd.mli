@@ -1,0 +1,100 @@
+(** Multicast forwarding entries and the forwarding information base.
+
+    Mirrors the state the paper describes in section 3: a source-specific
+    entry (S,G) or a shared-tree wildcard entry "(*,G)", each carrying an
+    incoming interface, a timed outgoing-interface list, and the WC / RP /
+    SPT flag bits whose meanings are:
+
+    - WC bit: the entry is "(*,G)"; the address stored is the RP, not a
+      source.
+    - RP bit: the entry lives on the RP-rooted shared tree — its incoming
+      interface check points toward the RP and its prunes travel toward the
+      RP (negative caches are (S,G) entries with the RP bit set).
+    - SPT bit: the shortest-path transition for (S,G) is complete; data
+      from S is expected on the SPT interface (section 3.3). *)
+
+type oif = {
+  iface : Pim_graph.Topology.iface;
+  mutable expires : float;  (** reset on every Join received on it *)
+  mutable local : bool;  (** kept alive by directly-connected members, not by joins *)
+}
+
+type entry = {
+  group : Pim_net.Group.t;
+  source : Pim_net.Addr.t option;  (** [None] for "(*,G)" *)
+  mutable rp : Pim_net.Addr.t option;  (** the group's RP *)
+  mutable iif : Pim_graph.Topology.iface option;
+  mutable oifs : oif list;
+  mutable wc_bit : bool;
+  mutable rp_bit : bool;
+  mutable spt_bit : bool;
+  mutable expires : float;  (** entry timer *)
+  mutable rp_deadline : float;  (** RP-reachability timer ("(*,G)" at routers with members) *)
+}
+
+val make_star :
+  group:Pim_net.Group.t ->
+  rp:Pim_net.Addr.t ->
+  iif:Pim_graph.Topology.iface option ->
+  expires:float ->
+  entry
+(** A "(*,G)" entry: WC and RP bits set. *)
+
+val make_sg :
+  group:Pim_net.Group.t ->
+  source:Pim_net.Addr.t ->
+  ?rp:Pim_net.Addr.t ->
+  ?rp_bit:bool ->
+  iif:Pim_graph.Topology.iface option ->
+  expires:float ->
+  unit ->
+  entry
+(** An (S,G) entry; SPT bit initially cleared (section 3.3). *)
+
+val is_star : entry -> bool
+
+val key : entry -> Pim_net.Group.t * Pim_net.Addr.t option
+
+val find_oif : entry -> Pim_graph.Topology.iface -> oif option
+
+val add_oif : entry -> Pim_graph.Topology.iface -> expires:float -> local:bool -> unit
+(** Add or refresh: an existing oif gets its timer extended (never
+    shortened) and its [local] flag or'ed. *)
+
+val remove_oif : entry -> Pim_graph.Topology.iface -> unit
+
+val live_oifs : entry -> now:float -> Pim_graph.Topology.iface list
+(** Interfaces whose timers have not expired, excluding the entry's iif. *)
+
+val prune_expired_oifs : entry -> now:float -> bool
+(** Drop expired, non-local oifs; returns true if any were dropped. *)
+
+val pp_entry : Format.formatter -> entry -> unit
+
+(** {1 FIB} *)
+
+type t
+
+val create : unit -> t
+
+val find_sg : t -> Pim_net.Group.t -> Pim_net.Addr.t -> entry option
+
+val find_star : t -> Pim_net.Group.t -> entry option
+
+val match_data : t -> Pim_net.Group.t -> src:Pim_net.Addr.t -> entry option
+(** Longest-match rule for data packets: (S,G) if present, else "(*,G)". *)
+
+val insert : t -> entry -> unit
+(** @raise Invalid_argument if an entry with the same key exists. *)
+
+val remove : t -> Pim_net.Group.t -> Pim_net.Addr.t option -> unit
+
+val entries : t -> entry list
+
+val group_entries : t -> Pim_net.Group.t -> entry list
+(** All entries of a group: the "(*,G)" first if present, then (S,G)s in
+    source order. *)
+
+val count : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+(** Multicast data packets.
+
+    A single payload constructor shared by every multicast routing protocol
+    in the repository, so that link-traversal observers can classify data
+    vs. control traffic uniformly. *)
+
+type info = {
+  seq : int;  (** per-source sequence number *)
+  sent_at : float;  (** origination time, for delay measurements *)
+}
+
+type Pim_net.Packet.payload += Data of info
+
+val make :
+  src:Pim_net.Addr.t ->
+  group:Pim_net.Group.t ->
+  seq:int ->
+  sent_at:float ->
+  ?size:int ->
+  unit ->
+  Pim_net.Packet.t
+(** Build a data packet (default modelled size 1000 bytes). *)
+
+val is_data : Pim_net.Packet.t -> bool
+
+val info : Pim_net.Packet.t -> info option
+
+val group : Pim_net.Packet.t -> Pim_net.Group.t option
+(** The destination group of a data packet. *)

@@ -1,0 +1,1 @@
+lib/mospf/router.ml: Array Format Fun Hashtbl Int List Pim_graph Pim_mcast Pim_net Pim_sim Printf Set

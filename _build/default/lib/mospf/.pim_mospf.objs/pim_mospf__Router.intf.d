@@ -1,0 +1,1 @@
+lib/mospf/router.mli: Pim_graph Pim_net Pim_sim

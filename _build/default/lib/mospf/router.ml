@@ -1,0 +1,288 @@
+module Topology = Pim_graph.Topology
+module Spt = Pim_graph.Spt
+module Net = Pim_sim.Net
+module Engine = Pim_sim.Engine
+module Trace = Pim_sim.Trace
+module Packet = Pim_net.Packet
+module Addr = Pim_net.Addr
+module Group = Pim_net.Group
+module Mdata = Pim_mcast.Mdata
+
+module GroupSet = Set.Make (Group)
+
+type stats = {
+  mutable lsa_sent : int;
+  mutable spf_runs : int;
+  mutable data_forwarded : int;
+  mutable data_dropped_iif : int;
+  mutable data_dropped_off_tree : int;
+  mutable data_delivered_local : int;
+}
+
+let fresh_stats () =
+  {
+    lsa_sent = 0;
+    spf_runs = 0;
+    data_forwarded = 0;
+    data_dropped_iif = 0;
+    data_dropped_off_tree = 0;
+    data_delivered_local = 0;
+  }
+
+type lsa = {
+  origin : Topology.node;
+  seq : int;
+  groups : Group.t list;
+}
+
+type Packet.payload += Membership_lsa of lsa
+
+let () =
+  Packet.register_printer (function
+    | Membership_lsa l ->
+      Some (Printf.sprintf "mospf-lsa origin=%d seq=%d (%d groups)" l.origin l.seq (List.length l.groups))
+    | _ -> None)
+
+type plan = {
+  iif : Topology.iface option;  (** None when this router is the source's first hop *)
+  olist : Topology.iface list;
+  member_here : bool;
+  on_tree : bool;
+}
+
+type t = {
+  node : Topology.node;
+  addr : Addr.t;
+  net : Net.t;
+  eng : Engine.t;
+  trace : Trace.t option;
+  lsdb : (Topology.node, int * GroupSet.t) Hashtbl.t;
+  cache : (Topology.node * Group.t, plan) Hashtbl.t;
+  stats : stats;
+  mutable own_seq : int;
+  mutable local_groups : GroupSet.t;
+  mutable local_cbs : (Packet.t -> unit) list;
+  mutable local_seq : int;
+}
+
+let node t = t.node
+
+let stats t = t.stats
+
+let tr t tag fmt =
+  match t.trace with
+  | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+  | Some trc -> Format.kasprintf (fun s -> Trace.log trc ~node:t.node ~tag s) fmt
+
+let membership_entries t =
+  Hashtbl.fold (fun _ (_, gs) acc -> acc + GroupSet.cardinal gs) t.lsdb 0
+  + GroupSet.cardinal t.local_groups
+
+let knows_member t u g =
+  if u = t.node then GroupSet.mem g t.local_groups
+  else
+    match Hashtbl.find_opt t.lsdb u with
+    | Some (_, gs) -> GroupSet.mem g gs
+    | None -> false
+
+let flood t ~except lsa_v =
+  Array.iter
+    (fun (iface, _) ->
+      if Some iface <> except then begin
+        t.stats.lsa_sent <- t.stats.lsa_sent + 1;
+        let pkt =
+          Packet.unicast ~src:t.addr ~dst:Addr.all_pim_routers
+            ~size:(12 + (4 * List.length lsa_v.groups))
+            (Membership_lsa lsa_v)
+        in
+        Net.send t.net t.node ~iface pkt
+      end)
+    (Topology.ifaces (Net.topo t.net) t.node)
+
+let originate_lsa t =
+  t.own_seq <- t.own_seq + 1;
+  let lsa_v = { origin = t.node; seq = t.own_seq; groups = GroupSet.elements t.local_groups } in
+  Hashtbl.reset t.cache;
+  flood t ~except:None lsa_v
+
+let install_lsa t ~iface (l : lsa) =
+  let fresher =
+    match Hashtbl.find_opt t.lsdb l.origin with None -> true | Some (seq, _) -> l.seq > seq
+  in
+  if fresher then begin
+    Hashtbl.replace t.lsdb l.origin (l.seq, GroupSet.of_list l.groups);
+    Hashtbl.reset t.cache;
+    flood t ~except:(Some iface) l
+  end
+
+(* Compute this router's part of the source-rooted shortest-path tree to
+   the group members — the per-(source, group) Dijkstra MOSPF performs on
+   demand ("the processing cost ... performed to compute the delivery
+   trees", section 1.1). *)
+let compute_plan t src_router g =
+  t.stats.spf_runs <- t.stats.spf_runs + 1;
+  let topo = Net.topo t.net in
+  let usable u v lid =
+    Net.link_up t.net lid && Net.node_up t.net u && Net.node_up t.net v
+  in
+  let tree = Spt.single_source ~usable topo src_router in
+  let members =
+    List.init (Topology.n_nodes topo) Fun.id
+    |> List.filter (fun u -> knows_member t u g)
+  in
+  let edges = Spt.tree_edges topo tree ~members in
+  let olist =
+    List.filter_map
+      (fun (p, _, lid) ->
+        if p = t.node then Topology.iface_of_link_opt topo t.node lid else None)
+      edges
+    |> List.sort_uniq Int.compare
+  in
+  let iif =
+    if t.node = src_router then None
+    else
+      List.find_map
+        (fun (_, c, lid) ->
+          if c = t.node then Topology.iface_of_link_opt topo t.node lid else None)
+        edges
+  in
+  let member_here = GroupSet.mem g t.local_groups in
+  let on_tree = t.node = src_router || iif <> None in
+  { iif; olist; member_here; on_tree }
+
+let plan_for t src_router g =
+  match Hashtbl.find_opt t.cache (src_router, g) with
+  | Some p -> p
+  | None ->
+    let p = compute_plan t src_router g in
+    Hashtbl.replace t.cache (src_router, g) p;
+    p
+
+let local_deliver t pkt =
+  t.stats.data_delivered_local <- t.stats.data_delivered_local + 1;
+  List.iter (fun f -> f pkt) t.local_cbs
+
+let forward t pkt olist =
+  match Packet.decr_ttl pkt with
+  | None -> ()
+  | Some pkt' ->
+    List.iter
+      (fun i ->
+        t.stats.data_forwarded <- t.stats.data_forwarded + 1;
+        Net.send t.net t.node ~iface:i pkt')
+      olist
+
+let src_router_of pkt =
+  match Addr.router_index pkt.Packet.src with
+  | Some r -> Some r
+  | None -> Addr.host_router_index pkt.Packet.src
+
+let handle_data t ~iface pkt =
+  match (Mdata.group pkt, src_router_of pkt) with
+  | Some g, Some src_router ->
+    let p = plan_for t src_router g in
+    if not p.on_tree then t.stats.data_dropped_off_tree <- t.stats.data_dropped_off_tree + 1
+    else if t.node = src_router then begin
+      (* First-hop router of the source subnetwork. *)
+      forward t pkt p.olist;
+      if p.member_here then local_deliver t pkt
+    end
+    else if p.iif = Some iface then begin
+      forward t pkt p.olist;
+      if p.member_here then local_deliver t pkt
+    end
+    else t.stats.data_dropped_iif <- t.stats.data_dropped_iif + 1
+  | _ -> ()
+
+let join_local t g =
+  if not (GroupSet.mem g t.local_groups) then begin
+    t.local_groups <- GroupSet.add g t.local_groups;
+    tr t "member" "local member for %s; flooding LSA" (Group.to_string g);
+    originate_lsa t
+  end
+
+let leave_local t g =
+  if GroupSet.mem g t.local_groups then begin
+    t.local_groups <- GroupSet.remove g t.local_groups;
+    originate_lsa t
+  end
+
+let on_local_data t f = t.local_cbs <- t.local_cbs @ [ f ]
+
+let local_source_addr t = Addr.host ~router:t.node 1
+
+let send_local_data t ~group ?size () =
+  let pkt =
+    Mdata.make ~src:(local_source_addr t) ~group ~seq:t.local_seq
+      ~sent_at:(Engine.now t.eng) ?size ()
+  in
+  t.local_seq <- t.local_seq + 1;
+  let p = plan_for t t.node group in
+  forward t pkt p.olist;
+  if p.member_here then local_deliver t pkt
+
+let handle_packet t ~iface pkt =
+  match pkt.Packet.payload with
+  | Membership_lsa l -> install_lsa t ~iface l
+  | Mdata.Data _ -> (
+    match src_router_of pkt with
+    | Some r when r = t.node -> (
+      (* Data from a directly attached host: act as the source's first
+         hop. *)
+      match Mdata.group pkt with
+      | Some g ->
+        let p = plan_for t t.node g in
+        forward t pkt p.olist;
+        if p.member_here then local_deliver t pkt
+      | None -> ())
+    | _ -> handle_data t ~iface pkt)
+  | _ -> ()
+
+let create ?trace ~net node =
+  let t =
+    {
+      node;
+      addr = Addr.router node;
+      net;
+      eng = Net.engine net;
+      trace;
+      lsdb = Hashtbl.create 32;
+      cache = Hashtbl.create 64;
+      stats = fresh_stats ();
+      own_seq = 0;
+      local_groups = GroupSet.empty;
+      local_cbs = [];
+      local_seq = 0;
+    }
+  in
+  Net.set_handler net node (fun ~iface pkt -> handle_packet t ~iface pkt);
+  Net.on_link_change net (fun _ _ -> Hashtbl.reset t.cache);
+  t
+
+module Deployment = struct
+  type router = t
+
+  type nonrec t = { routers : router array }
+
+  let create ?trace net =
+    let n = Topology.n_nodes (Net.topo net) in
+    { routers = Array.init n (fun u -> create ?trace ~net u) }
+
+  let router t u = t.routers.(u)
+
+  let total_stats t =
+    let acc = fresh_stats () in
+    Array.iter
+      (fun r ->
+        acc.lsa_sent <- acc.lsa_sent + r.stats.lsa_sent;
+        acc.spf_runs <- acc.spf_runs + r.stats.spf_runs;
+        acc.data_forwarded <- acc.data_forwarded + r.stats.data_forwarded;
+        acc.data_dropped_iif <- acc.data_dropped_iif + r.stats.data_dropped_iif;
+        acc.data_dropped_off_tree <- acc.data_dropped_off_tree + r.stats.data_dropped_off_tree;
+        acc.data_delivered_local <- acc.data_delivered_local + r.stats.data_delivered_local)
+      t.routers;
+    acc
+
+  let total_membership_entries t =
+    Array.fold_left (fun acc r -> acc + membership_entries r) 0 t.routers
+end

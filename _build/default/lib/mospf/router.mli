@@ -1,0 +1,68 @@
+(** MOSPF-style link-state multicast (paper references [3], [7]) — the
+    membership-broadcast baseline.
+
+    Group membership is flooded to every router in the domain as
+    group-membership LSAs; on receiving a data packet, a router computes
+    (and caches) the shortest-path tree from the packet's source subnetwork
+    to the group members, then forwards on its downstream tree links.
+
+    The paper names the two costs that stop this design from scaling to
+    wide areas, and both are surfaced as counters here: every router
+    stores membership for {e every} group in the domain
+    ({!membership_entries}), and forwarding cache misses trigger Dijkstra
+    runs ({!stats}'s [spf_runs]).
+
+    The SPT is computed over the topology restricted to live links/nodes —
+    the converged state link-state routing maintains at every router. *)
+
+type stats = {
+  mutable lsa_sent : int;  (** membership-LSA transmissions (flooding) *)
+  mutable spf_runs : int;  (** source-tree Dijkstra computations *)
+  mutable data_forwarded : int;
+  mutable data_dropped_iif : int;
+  mutable data_dropped_off_tree : int;
+  mutable data_delivered_local : int;
+}
+
+type t
+
+val create :
+  ?trace:Pim_sim.Trace.t ->
+  net:Pim_sim.Net.t ->
+  Pim_graph.Topology.node ->
+  t
+
+val node : t -> Pim_graph.Topology.node
+
+val stats : t -> stats
+
+val membership_entries : t -> int
+(** (router, group) membership pairs this router currently stores — the
+    per-router state burden of flooded membership. *)
+
+val knows_member : t -> Pim_graph.Topology.node -> Pim_net.Group.t -> bool
+
+val join_local : t -> Pim_net.Group.t -> unit
+(** Floods a membership LSA to the whole domain. *)
+
+val leave_local : t -> Pim_net.Group.t -> unit
+
+val on_local_data : t -> (Pim_net.Packet.t -> unit) -> unit
+
+val send_local_data : t -> group:Pim_net.Group.t -> ?size:int -> unit -> unit
+
+val local_source_addr : t -> Pim_net.Addr.t
+
+module Deployment : sig
+  type router := t
+
+  type t
+
+  val create : ?trace:Pim_sim.Trace.t -> Pim_sim.Net.t -> t
+
+  val router : t -> Pim_graph.Topology.node -> router
+
+  val total_stats : t -> stats
+
+  val total_membership_entries : t -> int
+end

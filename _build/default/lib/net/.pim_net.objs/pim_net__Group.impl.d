@@ -1,0 +1,1 @@
+lib/net/group.ml: Addr Int32 Option Printf

@@ -1,0 +1,1 @@
+lib/net/group.mli: Addr Format

@@ -1,0 +1,1 @@
+lib/net/packet.ml: Addr Format Group Printf String

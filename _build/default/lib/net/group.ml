@@ -1,0 +1,30 @@
+type t = Addr.t
+
+let compare = Addr.compare
+
+let equal = Addr.equal
+
+let hash = Addr.hash
+
+let of_addr a = if Addr.is_multicast a then Some a else None
+
+let of_addr_exn a =
+  match of_addr a with
+  | Some g -> g
+  | None -> invalid_arg (Printf.sprintf "Group.of_addr_exn: %s is not multicast" (Addr.to_string a))
+
+let to_addr g = g
+
+let of_index k =
+  assert (k >= 0 && k < 1 lsl 24);
+  Addr.of_octets 225 ((k lsr 16) land 0xFF) ((k lsr 8) land 0xFF) (k land 0xFF)
+
+let index g =
+  let x = Int32.to_int (Addr.to_int32 g) land 0xFFFFFFFF in
+  if (x lsr 24) land 0xFF = 225 then Some (x land 0xFFFFFF) else None
+
+let of_string s = Option.bind (Addr.of_string s) of_addr
+
+let to_string = Addr.to_string
+
+let pp = Addr.pp

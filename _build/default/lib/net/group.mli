@@ -1,0 +1,35 @@
+(** Multicast group addresses.
+
+    A group is an address in 224.0.0.0/4 (class D).  The type is distinct
+    from {!Addr.t} so that forwarding code cannot confuse a group with a
+    unicast source or RP address; explicit conversions are provided. *)
+
+type t
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val of_addr : Addr.t -> t option
+(** [of_addr a] is [Some g] iff [a] is a class-D address. *)
+
+val of_addr_exn : Addr.t -> t
+(** @raise Invalid_argument if the address is not multicast. *)
+
+val to_addr : t -> Addr.t
+
+val of_index : int -> t
+(** [of_index k] is the [k]-th simulated group address (in 225.0.0.0/8,
+    avoiding the reserved link-local block 224.0.0.0/24).
+    0 <= k < 2^24. *)
+
+val index : t -> int option
+(** Inverse of {!of_index}. *)
+
+val of_string : string -> t option
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

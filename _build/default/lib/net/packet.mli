@@ -1,0 +1,39 @@
+(** Simulated packets.
+
+    The payload is an extensible variant: each protocol library adds its own
+    constructors (PIM join/prune, IGMP report, DVMRP prune, ...) without
+    this module depending on any of them.  Byte sizes are modelled per
+    message so bandwidth overhead can be accounted, even though no real
+    serialization takes place. *)
+
+type payload = ..
+(** Extended by protocol libraries. *)
+
+type payload += Raw of string  (** Opaque application data (tests). *)
+
+type dst =
+  | Unicast of Addr.t
+  | Multicast of Group.t
+
+type t = {
+  src : Addr.t;
+  dst : dst;
+  ttl : int;
+  size : int;  (** modelled size in bytes, headers included *)
+  payload : payload;
+}
+
+val unicast : src:Addr.t -> dst:Addr.t -> ?ttl:int -> size:int -> payload -> t
+
+val multicast : src:Addr.t -> group:Group.t -> ?ttl:int -> size:int -> payload -> t
+
+val decr_ttl : t -> t option
+(** [None] when the TTL is exhausted. *)
+
+val register_printer : (payload -> string option) -> unit
+(** Protocol libraries register printers for their payload constructors so
+    traces stay readable. *)
+
+val payload_to_string : payload -> string
+
+val pp : Format.formatter -> t -> unit

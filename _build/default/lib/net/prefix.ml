@@ -1,0 +1,42 @@
+type t = { network : Addr.t; length : int }
+
+let mask len =
+  if len = 0 then 0l else Int32.shift_left (-1l) (32 - len)
+
+let make addr len =
+  assert (len >= 0 && len <= 32);
+  { network = Addr.of_int32 (Int32.logand (Addr.to_int32 addr) (mask len)); length = len }
+
+let network t = t.network
+
+let length t = t.length
+
+let compare a b =
+  match Addr.compare a.network b.network with
+  | 0 -> Int.compare a.length b.length
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let contains t a =
+  Int32.equal (Int32.logand (Addr.to_int32 a) (mask t.length)) (Addr.to_int32 t.network)
+
+let subsumes p q = p.length <= q.length && contains p q.network
+
+let host a = make a 32
+
+let default = make (Addr.of_octets 0 0 0 0) 0
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> Option.map host (Addr.of_string s)
+  | Some i -> (
+    let addr = String.sub s 0 i in
+    let len = String.sub s (i + 1) (String.length s - i - 1) in
+    match (Addr.of_string addr, int_of_string_opt len) with
+    | Some a, Some l when l >= 0 && l <= 32 -> Some (make a l)
+    | _ -> None)
+
+let to_string t = Printf.sprintf "%s/%d" (Addr.to_string t.network) t.length
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

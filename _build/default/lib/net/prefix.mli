@@ -1,0 +1,38 @@
+(** Address prefixes (CIDR-style network/length pairs).
+
+    Used by the unicast routing substrates for longest-prefix routes and by
+    the aggregation discussion of the paper (section 4): PIM join/prune
+    lists may name an aggregate rather than a host route. *)
+
+type t
+
+val make : Addr.t -> int -> t
+(** [make addr len] is the prefix of the leading [len] bits of [addr]
+    (host bits are zeroed).  [len] must be in [\[0, 32\]]. *)
+
+val network : t -> Addr.t
+
+val length : t -> int
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val contains : t -> Addr.t -> bool
+
+val subsumes : t -> t -> bool
+(** [subsumes p q] is true when every address matched by [q] is matched by
+    [p]. *)
+
+val host : Addr.t -> t
+(** /32 prefix for a single address. *)
+
+val default : t
+(** 0.0.0.0/0. *)
+
+val of_string : string -> t option
+(** Parse ["a.b.c.d/len"]. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/routing/distance_vector.ml: Array Hashtbl List Pim_graph Pim_net Pim_sim Printf Rib

@@ -1,0 +1,1 @@
+lib/routing/distance_vector.mli: Pim_graph Pim_sim Rib

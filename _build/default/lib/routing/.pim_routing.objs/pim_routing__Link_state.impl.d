@@ -1,0 +1,1 @@
+lib/routing/link_state.ml: Array Hashtbl Int List Pim_graph Pim_net Pim_sim Pim_util Printf Rib

@@ -1,0 +1,1 @@
+lib/routing/link_state.mli: Pim_graph Pim_sim Rib

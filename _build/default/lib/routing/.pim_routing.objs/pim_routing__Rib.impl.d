@@ -1,0 +1,1 @@
+lib/routing/rib.ml: Option Pim_graph Pim_net

@@ -1,0 +1,1 @@
+lib/routing/rib.mli: Pim_graph Pim_net

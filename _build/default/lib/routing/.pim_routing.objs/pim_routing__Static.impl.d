@@ -1,0 +1,1 @@
+lib/routing/static.ml: Array List Pim_graph Pim_sim Rib

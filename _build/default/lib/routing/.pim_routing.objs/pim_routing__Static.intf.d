@@ -1,0 +1,1 @@
+lib/routing/static.mli: Pim_graph Pim_sim Rib

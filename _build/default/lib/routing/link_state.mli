@@ -1,0 +1,35 @@
+(** OSPF-like link-state unicast routing.
+
+    Each router originates a link-state advertisement (LSA) describing its
+    usable adjacencies, floods it with sequence-number deduplication, and
+    runs Dijkstra over the resulting database.  An adjacency enters the
+    shortest-path computation only when both endpoints advertise it (the
+    bidirectionality check), so a crashed router disappears from the
+    routes even though it can no longer re-originate.  MOSPF extends
+    exactly this protocol (paper section 1.1). *)
+
+type config = {
+  refresh_period : float;  (** periodic LSA re-origination *)
+  spf_delay : float;  (** damping delay between LSDB change and SPF run *)
+}
+
+val default_config : config
+(** refresh 120 s, SPF delay 0.5 s. *)
+
+type t
+
+val create : ?config:config -> Pim_sim.Net.t -> t
+
+val rib : t -> Pim_graph.Topology.node -> Rib.t
+
+val distance : t -> Pim_graph.Topology.node -> Pim_graph.Topology.node -> int option
+(** Metric at router [u] toward router [d] per [u]'s current SPF result. *)
+
+val converged : t -> against:int array array -> bool
+
+val lsa_count : t -> int
+(** Total LSA transmissions (flooding overhead). *)
+
+val spf_runs : t -> int
+(** Total Dijkstra executions across all routers (the processing cost the
+    paper cites as limiting MOSPF scaling). *)

@@ -1,0 +1,13 @@
+type t = {
+  node : Pim_graph.Topology.node;
+  next_hop : Pim_net.Addr.t -> (Pim_graph.Topology.iface * Pim_graph.Topology.node) option;
+  distance : Pim_net.Addr.t -> int option;
+  subscribe : (unit -> unit) -> unit;
+}
+
+let rpf_iface t addr = Option.map fst (t.next_hop addr)
+
+let resolve addr =
+  match Pim_net.Addr.router_index addr with
+  | Some i -> Some i
+  | None -> Pim_net.Addr.host_router_index addr

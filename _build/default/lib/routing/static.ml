@@ -1,0 +1,58 @@
+module Topology = Pim_graph.Topology
+module Spt = Pim_graph.Spt
+
+type t = {
+  net : Pim_sim.Net.t;
+  mutable trees : Spt.tree array;  (* indexed by source node *)
+  mutable hops : (Topology.node option array * Topology.iface option array) array;
+  mutable subs : (unit -> unit) list array;  (* per node *)
+}
+
+let usable net u v lid =
+  Pim_sim.Net.link_up net lid && Pim_sim.Net.node_up net u && Pim_sim.Net.node_up net v
+
+let compute net =
+  let topo = Pim_sim.Net.topo net in
+  let n = Topology.n_nodes topo in
+  let trees =
+    Array.init n (fun u -> Spt.single_source ~usable:(usable net) topo u)
+  in
+  let hops = Array.map (fun tr -> Spt.first_hop topo tr) trees in
+  (trees, hops)
+
+let refresh t =
+  let trees, hops = compute t.net in
+  t.trees <- trees;
+  t.hops <- hops;
+  Array.iter (fun subs -> List.iter (fun f -> f ()) subs) t.subs
+
+let create net =
+  let topo = Pim_sim.Net.topo net in
+  let trees, hops = compute net in
+  let t = { net; trees; hops; subs = Array.make (Topology.n_nodes topo) [] } in
+  Pim_sim.Net.on_link_change net (fun _ _ -> refresh t);
+  t
+
+let rib t u =
+  let next_hop addr =
+    match Rib.resolve addr with
+    | None -> None
+    | Some d ->
+      if d = u then None
+      else
+        let hop, hop_iface = t.hops.(u) in
+        (match (hop.(d), hop_iface.(d)) with
+        | Some v, Some i -> Some (i, v)
+        | _ -> None)
+  in
+  let distance addr =
+    match Rib.resolve addr with
+    | None -> None
+    | Some d ->
+      let dd = t.trees.(u).Spt.dist.(d) in
+      if dd = max_int then None else Some dd
+  in
+  let subscribe f = t.subs.(u) <- t.subs.(u) @ [ f ] in
+  { Rib.node = u; next_hop; distance; subscribe }
+
+let distance_matrix t = Array.map (fun tr -> tr.Spt.dist) t.trees

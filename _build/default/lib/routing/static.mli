@@ -1,0 +1,24 @@
+(** Oracle unicast routing: all-pairs shortest paths over the live
+    topology.
+
+    Routes are recomputed instantly whenever a link or node changes state,
+    so this substrate has zero convergence time.  It is the default for
+    experiments, where unicast convergence noise would obscure the
+    multicast measurements; {!Distance_vector} and {!Link_state} exist to
+    demonstrate that the multicast protocols are oblivious to the
+    substrate. *)
+
+type t
+
+val create : Pim_sim.Net.t -> t
+(** Builds routes immediately and subscribes to link-change notifications
+    from the network. *)
+
+val rib : t -> Pim_graph.Topology.node -> Rib.t
+(** The per-router RIB view handed to multicast protocols. *)
+
+val distance_matrix : t -> int array array
+(** Current router-to-router distances ([max_int] = unreachable). *)
+
+val refresh : t -> unit
+(** Force recomputation (normally automatic). *)

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Float Int Option Pim_util

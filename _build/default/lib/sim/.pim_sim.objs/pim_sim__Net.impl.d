@@ -1,0 +1,1 @@
+lib/sim/net.ml: Array Engine Int List Pim_graph Pim_net Pim_util

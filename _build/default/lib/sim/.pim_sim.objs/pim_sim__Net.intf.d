@@ -1,0 +1,1 @@
+lib/sim/net.mli: Engine Pim_graph Pim_net Pim_util

@@ -1,0 +1,78 @@
+type handle = { mutable cancelled : bool }
+
+type event = {
+  time : float;
+  seq : int;
+  action : unit -> unit;
+  hdl : handle;
+}
+
+type t = {
+  mutable clock : float;
+  mutable seq : int;
+  queue : event Pim_util.Heap.t;
+}
+
+let compare_events a b =
+  match Float.compare a.time b.time with 0 -> Int.compare a.seq b.seq | c -> c
+
+let create () = { clock = 0.; seq = 0; queue = Pim_util.Heap.create ~cmp:compare_events }
+
+let now t = t.clock
+
+let push t time action =
+  let hdl = { cancelled = false } in
+  let ev = { time; seq = t.seq; action; hdl } in
+  t.seq <- t.seq + 1;
+  Pim_util.Heap.push t.queue ev;
+  hdl
+
+let schedule t ~after action =
+  if after < 0. then invalid_arg "Engine.schedule: negative delay";
+  push t (t.clock +. after) action
+
+let schedule_at t time action =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  push t time action
+
+let every t ?start ~interval action =
+  if interval <= 0. then invalid_arg "Engine.every: non-positive interval";
+  let first = Option.value start ~default:interval in
+  if first < 0. then invalid_arg "Engine.every: negative start";
+  let hdl = { cancelled = false } in
+  let rec arm delay =
+    let tick () =
+      if not hdl.cancelled then begin
+        action ();
+        if not hdl.cancelled then arm interval
+      end
+    in
+    let ev = { time = t.clock +. delay; seq = t.seq; action = tick; hdl } in
+    t.seq <- t.seq + 1;
+    Pim_util.Heap.push t.queue ev
+  in
+  arm first;
+  hdl
+
+let cancel hdl = hdl.cancelled <- true
+
+let run ?until t =
+  let limit = Option.value until ~default:infinity in
+  let rec loop () =
+    match Pim_util.Heap.peek t.queue with
+    | None -> ()
+    | Some ev when ev.time > limit -> ()
+    | Some _ -> (
+      match Pim_util.Heap.pop t.queue with
+      | None -> ()
+      | Some ev ->
+        if not ev.hdl.cancelled then begin
+          t.clock <- max t.clock ev.time;
+          ev.action ()
+        end;
+        loop ())
+  in
+  loop ();
+  if Float.is_finite limit then t.clock <- max t.clock limit
+
+let pending t = Pim_util.Heap.length t.queue

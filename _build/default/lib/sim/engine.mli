@@ -1,0 +1,40 @@
+(** Discrete-event simulation engine.
+
+    A single-threaded event loop over a virtual clock.  Events scheduled for
+    the same instant run in scheduling order (a monotonically increasing
+    sequence number breaks ties), which keeps every run deterministic.
+
+    The paper's soft-state machinery — periodic Join/Prune refresh, oif
+    timers, RP-reachability timers (sections 3.4, 3.6, 3.9) — is built on
+    {!schedule} and {!every}. *)
+
+type t
+
+type handle
+(** A cancellable reference to a scheduled event (or recurring timer). *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val schedule : t -> after:float -> (unit -> unit) -> handle
+(** Run a callback [after] seconds from now ([after >= 0]). *)
+
+val schedule_at : t -> float -> (unit -> unit) -> handle
+(** Run a callback at an absolute time (not earlier than [now]). *)
+
+val every : t -> ?start:float -> interval:float -> (unit -> unit) -> handle
+(** Recurring timer: first fires after [start] (default [interval]) and then
+    every [interval] seconds until cancelled. *)
+
+val cancel : handle -> unit
+(** Cancelling an already-fired one-shot event is a no-op. *)
+
+val run : ?until:float -> t -> unit
+(** Process events in time order.  Stops when the queue empties, or, when
+    [until] is given, once the clock would pass it (the clock is then set
+    to [until]; pending recurring timers remain scheduled). *)
+
+val pending : t -> int
+(** Number of queued events (including cancelled ones not yet drained). *)

@@ -1,0 +1,146 @@
+module Packet = Pim_net.Packet
+module Topology = Pim_graph.Topology
+
+type host_id = int
+
+type host = {
+  hlink : Topology.link_id;
+  haddr : Pim_net.Addr.t;
+  hrecv : Packet.t -> unit;
+}
+
+type t = {
+  eng : Engine.t;
+  topo : Topology.t;
+  handlers : (iface:Topology.iface -> Packet.t -> unit) list array;
+  link_state : bool array;
+  node_state : bool array;
+  mutable hosts : host array;
+  mutable link_subs : (Topology.link_id -> bool -> unit) list;
+  mutable deliver_subs : (Topology.link_id -> Packet.t -> unit) list;
+  counts : int array;
+  mutable loss_rate : float;
+  mutable loss_prng : Pim_util.Prng.t;
+  mutable loss_filter : Packet.t -> bool;
+  mutable dropped : int;
+}
+
+let create eng topo =
+  {
+    eng;
+    topo;
+    handlers = Array.make (Topology.n_nodes topo) [];
+    link_state = Array.make (Topology.n_links topo) true;
+    node_state = Array.make (Topology.n_nodes topo) true;
+    hosts = [||];
+    link_subs = [];
+    deliver_subs = [];
+    counts = Array.make (Topology.n_links topo) 0;
+    loss_rate = 0.;
+    loss_prng = Pim_util.Prng.create 0x10ad;
+    loss_filter = (fun _ -> true);
+    dropped = 0;
+  }
+
+let engine t = t.eng
+
+let topo t = t.topo
+
+let set_handler t u h = t.handlers.(u) <- t.handlers.(u) @ [ h ]
+
+let link_up t lid = t.link_state.(lid)
+
+let node_up t u = t.node_state.(u)
+
+let notify_link t lid up = List.iter (fun f -> f lid up) t.link_subs
+
+let set_link_up t lid up =
+  if t.link_state.(lid) <> up then begin
+    t.link_state.(lid) <- up;
+    notify_link t lid up
+  end
+
+let set_node_up t u up =
+  if t.node_state.(u) <> up then begin
+    t.node_state.(u) <- up;
+    (* Neighbors perceive the node's links flapping. *)
+    Array.iter (fun (_, lid) -> if t.link_state.(lid) then notify_link t lid up) (Topology.ifaces t.topo u)
+  end
+
+let on_link_change t f = t.link_subs <- t.link_subs @ [ f ]
+
+let on_deliver t f = t.deliver_subs <- t.deliver_subs @ [ f ]
+
+let traversals t lid = t.counts.(lid)
+
+let total_traversals t = Array.fold_left ( + ) 0 t.counts
+
+let hosts_on_link t lid =
+  Array.to_list t.hosts |> List.filter (fun h -> h.hlink = lid)
+
+let set_loss_rate t ?prng ?(filter = fun _ -> true) rate =
+  if rate < 0. || rate >= 1. then invalid_arg "Net.set_loss_rate: rate must be in [0, 1)";
+  t.loss_rate <- rate;
+  t.loss_filter <- filter;
+  (match prng with Some p -> t.loss_prng <- p | None -> ())
+
+let loss_rate t = t.loss_rate
+
+let dropped t = t.dropped
+
+let transmit t ~from_node ~lid ~to_node pkt =
+  t.counts.(lid) <- t.counts.(lid) + 1;
+  List.iter (fun f -> f lid pkt) t.deliver_subs;
+  if t.loss_rate > 0. && t.loss_filter pkt && Pim_util.Prng.float t.loss_prng 1.0 < t.loss_rate
+  then t.dropped <- t.dropped + 1
+  else
+  let link = Topology.link t.topo lid in
+  let deliver () =
+    if t.link_state.(lid) then begin
+      let routers =
+        match to_node with
+        | Some v -> if Array.exists (Int.equal v) link.Topology.ends then [ v ] else []
+        | None -> (
+          match from_node with
+          | Some u -> Topology.others_on_link t.topo lid u
+          | None -> Array.to_list link.Topology.ends)
+      in
+      List.iter
+        (fun v ->
+          if t.node_state.(v) then
+            let iface = Topology.iface_of_link t.topo v lid in
+            List.iter (fun h -> h ~iface pkt) t.handlers.(v))
+        routers;
+      (* Hosts only overhear broadcast frames; a host never hears its own
+         transmission. *)
+      if to_node = None then begin
+        let from_host h =
+          match from_node with
+          | None -> Pim_net.Addr.equal h.haddr pkt.Packet.src
+          | Some _ -> false
+        in
+        List.iter (fun h -> if not (from_host h) then h.hrecv pkt) (hosts_on_link t lid)
+      end
+    end
+  in
+  ignore (Engine.schedule t.eng ~after:link.Topology.delay deliver)
+
+let send t u ~iface ?to_node pkt =
+  if t.node_state.(u) then begin
+    let link = Topology.link_of_iface t.topo u iface in
+    if t.link_state.(link.Topology.id) then
+      transmit t ~from_node:(Some u) ~lid:link.Topology.id ~to_node pkt
+  end
+
+let attach_host t lid ~addr recv =
+  let h = { hlink = lid; haddr = addr; hrecv = recv } in
+  t.hosts <- Array.append t.hosts [| h |];
+  Array.length t.hosts - 1
+
+let host_send t hid pkt =
+  let h = t.hosts.(hid) in
+  if t.link_state.(h.hlink) then transmit t ~from_node:None ~lid:h.hlink ~to_node:None pkt
+
+let host_addr t hid = t.hosts.(hid).haddr
+
+let host_link t hid = t.hosts.(hid).hlink

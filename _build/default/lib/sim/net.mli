@@ -1,0 +1,87 @@
+(** Packet delivery over a topology inside the event loop.
+
+    Routers register one handler; hosts attach to (stub) LANs.  Sending on
+    an interface models one link-layer transmission: a point-to-point frame
+    reaches the other endpoint, a broadcast/multicast frame on a LAN
+    reaches every other router and host on it, and a targeted frame
+    ([?to_node]) reaches only the addressed router — the distinction
+    section 3.7 of the paper relies on (joins/prunes are multicast on the
+    LAN so other routers can overhear and suppress or override).
+
+    Links and nodes can be taken down and up to exercise the soft-state
+    repair and RP-failover machinery. *)
+
+type t
+
+type host_id
+
+val create : Engine.t -> Pim_graph.Topology.t -> t
+
+val engine : t -> Engine.t
+
+val topo : t -> Pim_graph.Topology.t
+
+val set_handler : t -> Pim_graph.Topology.node -> (iface:Pim_graph.Topology.iface -> Pim_net.Packet.t -> unit) -> unit
+(** Install a packet handler of a router.  Handlers stack: every handler
+    receives every packet, in installation order — a unicast routing
+    process and a multicast routing process coexist on one node, each
+    ignoring the other's payloads (which is how real routers work). *)
+
+val send :
+  t -> Pim_graph.Topology.node -> iface:Pim_graph.Topology.iface -> ?to_node:Pim_graph.Topology.node -> Pim_net.Packet.t -> unit
+(** Transmit on an interface.  Dropped silently when the sending node or
+    the link is down.  Delivery happens after the link's propagation
+    delay; receivers whose node went down in the meantime miss the
+    packet. *)
+
+val attach_host :
+  t -> Pim_graph.Topology.link_id -> addr:Pim_net.Addr.t -> (Pim_net.Packet.t -> unit) -> host_id
+(** Attach a host to a LAN (or point-to-point) link; it overhears every
+    broadcast frame on that link. *)
+
+val host_send : t -> host_id -> Pim_net.Packet.t -> unit
+(** Host transmission: broadcast on the host's link. *)
+
+val host_addr : t -> host_id -> Pim_net.Addr.t
+
+val host_link : t -> host_id -> Pim_graph.Topology.link_id
+
+val set_link_up : t -> Pim_graph.Topology.link_id -> bool -> unit
+(** Change link state and notify {!on_link_change} subscribers. *)
+
+val link_up : t -> Pim_graph.Topology.link_id -> bool
+
+val set_node_up : t -> Pim_graph.Topology.node -> bool -> unit
+(** A down node neither sends nor receives.  Subscribers are notified for
+    each of the node's links (as if they flapped). *)
+
+val node_up : t -> Pim_graph.Topology.node -> bool
+
+val set_loss_rate :
+  t -> ?prng:Pim_util.Prng.t -> ?filter:(Pim_net.Packet.t -> bool) -> float -> unit
+(** Drop each transmission independently with the given probability
+    (0 disables, the default).  Deterministic given the PRNG (a fixed-seed
+    one is used when none is supplied).  [filter] (default: every frame)
+    selects which packets are subject to loss — experiments drop control
+    frames only, the regime soft state is designed to survive: "lost
+    packets will be recovered from at the next periodic refresh time"
+    (paper section 3.4). *)
+
+val loss_rate : t -> float
+
+val dropped : t -> int
+(** Transmissions lost to the configured loss rate so far. *)
+
+val on_link_change : t -> (Pim_graph.Topology.link_id -> bool -> unit) -> unit
+(** Subscribe to link up/down transitions (unicast protocols re-converge,
+    PIM re-runs its RPF checks — section 3.8). *)
+
+val on_deliver : t -> (Pim_graph.Topology.link_id -> Pim_net.Packet.t -> unit) -> unit
+(** Observe every link traversal (one call per transmission, not per
+    receiver) — the hook the overhead experiments use to count data and
+    control bandwidth per link. *)
+
+val traversals : t -> Pim_graph.Topology.link_id -> int
+(** Raw transmission count per link since creation. *)
+
+val total_traversals : t -> int

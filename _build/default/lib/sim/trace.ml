@@ -1,0 +1,38 @@
+type record = {
+  time : float;
+  node : int;
+  tag : string;
+  detail : string;
+}
+
+type t = {
+  eng : Engine.t;
+  mutable enabled : bool;
+  mutable entries : record list;  (* reversed *)
+}
+
+let create ?(enabled = true) eng = { eng; enabled; entries = [] }
+
+let enable t b = t.enabled <- b
+
+let log t ~node ~tag detail =
+  if t.enabled then
+    t.entries <- { time = Engine.now t.eng; node; tag; detail } :: t.entries
+
+let logf t ~node ~tag fmt =
+  Format.kasprintf (fun s -> log t ~node ~tag s) fmt
+
+let records t = List.rev t.entries
+
+let count t ~tag =
+  List.fold_left (fun acc r -> if String.equal r.tag tag then acc + 1 else acc) 0 t.entries
+
+let find t ~tag = List.filter (fun r -> String.equal r.tag tag) (records t)
+
+let clear t = t.entries <- []
+
+let pp_record ppf r =
+  Format.fprintf ppf "%8.3f node=%-3d %-10s %s" r.time r.node r.tag r.detail
+
+let dump ppf t =
+  List.iter (fun r -> Format.fprintf ppf "%a@." pp_record r) (records t)

@@ -1,0 +1,34 @@
+(** Timestamped event trace.
+
+    Protocols append human-readable records; examples print them, tests
+    assert on them.  Disabled traces cost one branch per call. *)
+
+type t
+
+type record = {
+  time : float;
+  node : int;  (** router node, or -1 for hosts/global events *)
+  tag : string;  (** short event class, e.g. "join", "prune", "register" *)
+  detail : string;
+}
+
+val create : ?enabled:bool -> Engine.t -> t
+
+val enable : t -> bool -> unit
+
+val log : t -> node:int -> tag:string -> string -> unit
+
+val logf : t -> node:int -> tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val records : t -> record list
+(** In chronological (append) order. *)
+
+val count : t -> tag:string -> int
+
+val find : t -> tag:string -> record list
+
+val clear : t -> unit
+
+val pp_record : Format.formatter -> record -> unit
+
+val dump : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+(** Array-based binary min-heap.
+
+    Used by the event queue (ordered by time, with a sequence number as a
+    tie-break so simultaneous events run in schedule order) and by Dijkstra.
+    The comparison function is supplied at creation time. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] returns an empty heap ordered by [cmp] (smallest first). *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element, or [None] if empty. *)
+
+val peek : 'a t -> 'a option
+(** Return the minimum element without removing it. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> 'a list
+(** Drain the heap, returning all elements in ascending order.  The heap is
+    empty afterwards.  Intended for tests. *)

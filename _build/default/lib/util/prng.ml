@@ -1,0 +1,72 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 finalizer: xor-shift/multiply mixing of the raw counter. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = bits64 t in
+  { state = seed }
+
+let int t bound =
+  assert (bound > 0);
+  let mask = max_int in
+  let rec draw () =
+    let r = Int64.to_int (bits64 t) land mask in
+    (* Reject the biased tail so the result is exactly uniform. *)
+    let v = r mod bound in
+    if r - v > mask - bound + 1 then draw () else v
+  in
+  draw ()
+
+let int_in t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let r = Int64.shift_right_logical (bits64 t) 11 in
+  (* 53 random bits scaled into [0, 1). *)
+  Int64.to_float r /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let pick t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample t k n =
+  assert (0 <= k && k <= n);
+  (* Floyd's algorithm: k distinct values without building [0, n). *)
+  let module IS = Set.Make (Int) in
+  let rec loop j acc =
+    if j > n - 1 then acc
+    else
+      let v = int t (j + 1) in
+      let acc = if IS.mem v acc then IS.add j acc else IS.add v acc in
+      loop (j + 1) acc
+  in
+  if k = 0 then [] else IS.elements (loop (n - k) IS.empty)
+
+let exponential t mean =
+  let u = float t 1.0 in
+  -.mean *. log (1.0 -. u)

@@ -1,0 +1,32 @@
+(** Small descriptive-statistics helpers used by the experiment harnesses. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0. on the empty list. *)
+
+val stddev : float list -> float
+(** Sample standard deviation (n-1 denominator); 0. for fewer than two
+    samples. *)
+
+val minimum : float list -> float
+(** Smallest sample; 0. on the empty list. *)
+
+val maximum : float list -> float
+(** Largest sample; 0. on the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] for [p] in [\[0, 100\]], nearest-rank method on the
+    sorted samples; 0. on the empty list. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+}
+
+val summarize : float list -> summary
+
+val pp_summary : Format.formatter -> summary -> unit

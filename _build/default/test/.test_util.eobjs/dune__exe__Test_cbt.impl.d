@@ -1,0 +1,1 @@
+test/test_cbt.ml: Alcotest Array List Pim_cbt Pim_graph Pim_mcast Pim_net Pim_sim Printf

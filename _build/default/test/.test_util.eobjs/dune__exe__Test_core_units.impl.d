@@ -1,0 +1,1 @@
+test/test_core_units.ml: Alcotest Array List Pim_core Pim_graph Pim_net Pim_sim String

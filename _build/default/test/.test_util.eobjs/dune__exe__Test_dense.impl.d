@@ -1,0 +1,1 @@
+test/test_dense.ml: Alcotest Array List Pim_dense Pim_graph Pim_mcast Pim_net Pim_sim Printf

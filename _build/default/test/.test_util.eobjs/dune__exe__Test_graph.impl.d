@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Float Fun Gen Int List Pim_graph Pim_util Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_igmp.ml: Alcotest Hashtbl List Pim_graph Pim_igmp Pim_net Pim_sim Printf

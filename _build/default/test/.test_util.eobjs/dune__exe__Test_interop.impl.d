@@ -1,0 +1,1 @@
+test/test_interop.ml: Alcotest List Pim_core Pim_dense Pim_graph Pim_interop Pim_mcast Pim_net Pim_routing Pim_sim Printf

@@ -1,0 +1,1 @@
+test/test_mcast.ml: Alcotest List Option Pim_mcast Pim_net QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mospf.ml: Alcotest Array List Pim_graph Pim_mospf Pim_net Pim_sim Printf

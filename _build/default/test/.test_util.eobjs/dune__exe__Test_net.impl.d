@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest List Pim_net QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pim.ml: Alcotest Format List Option Pim_core Pim_graph Pim_igmp Pim_mcast Pim_net Pim_routing Pim_sim Pim_util Printf QCheck QCheck_alcotest String

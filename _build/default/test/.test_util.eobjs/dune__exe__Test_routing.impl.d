@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Array List Option Pim_graph Pim_net Pim_routing Pim_sim Pim_util Printf QCheck QCheck_alcotest

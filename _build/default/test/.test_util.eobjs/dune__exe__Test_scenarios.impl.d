@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest List Option Pim_core Pim_graph Pim_igmp Pim_mcast Pim_net Pim_sim String

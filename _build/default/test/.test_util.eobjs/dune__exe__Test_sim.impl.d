@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array List Option Pim_graph Pim_net Pim_sim Pim_util Printf

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Int List Pim_util QCheck QCheck_alcotest

@@ -1,0 +1,155 @@
+(* Unit tests for the small Pim_core modules: Config, Rp_set, Message,
+   Deployment aggregation. *)
+
+module Config = Pim_core.Config
+module Rp_set = Pim_core.Rp_set
+module Message = Pim_core.Message
+module Addr = Pim_net.Addr
+module Group = Pim_net.Group
+module Packet = Pim_net.Packet
+
+let feq = Alcotest.float 1e-9
+
+(* Config *)
+
+let test_config_scale () =
+  let c = Config.scale 0.5 Config.default in
+  Alcotest.check feq "jp period" (Config.default.Config.jp_period /. 2.) c.Config.jp_period;
+  Alcotest.check feq "holdtime" (Config.default.Config.oif_holdtime /. 2.) c.Config.oif_holdtime;
+  Alcotest.check feq "rp timeout" (Config.default.Config.rp_timeout /. 2.) c.Config.rp_timeout;
+  (* Policies are untouched by scaling. *)
+  Alcotest.(check bool) "policy preserved" true (c.Config.spt_policy = Config.Immediate)
+
+let test_config_fast_ratios () =
+  let d = Config.default and f = Config.fast in
+  Alcotest.check feq "holdtime = 3x period (default)" (3. *. d.Config.jp_period)
+    d.Config.oif_holdtime;
+  Alcotest.check feq "holdtime = 3x period (fast)" (3. *. f.Config.jp_period)
+    f.Config.oif_holdtime;
+  Alcotest.(check bool) "rp timeout covers 3 beacons" true
+    (d.Config.rp_timeout > 3. *. d.Config.rp_reach_period)
+
+let test_config_with_jp_period () =
+  let c = Config.with_jp_period 10. Config.default in
+  Alcotest.check feq "period" 10. c.Config.jp_period;
+  Alcotest.check feq "derived holdtime" 30. c.Config.oif_holdtime;
+  Alcotest.check feq "derived linger" 30. c.Config.entry_linger
+
+let test_config_with_policy () =
+  let c = Config.with_spt_policy Config.Never Config.default in
+  Alcotest.(check bool) "policy set" true (c.Config.spt_policy = Config.Never);
+  Alcotest.check feq "timers untouched" Config.default.Config.jp_period c.Config.jp_period
+
+(* Rp_set *)
+
+let g1 = Group.of_index 1
+
+let g2 = Group.of_index 2
+
+let test_rp_set () =
+  let s = Rp_set.of_list [ (g1, [ Addr.router 1; Addr.router 2 ]) ] in
+  Alcotest.(check int) "two rps" 2 (List.length (Rp_set.rps s g1));
+  Alcotest.(check bool) "ordered" true
+    (List.hd (Rp_set.rps s g1) = Addr.router 1);
+  Alcotest.(check bool) "sparse" true (Rp_set.is_sparse s g1);
+  Alcotest.(check bool) "unmapped group not sparse" false (Rp_set.is_sparse s g2);
+  Alcotest.(check (list int)) "unmapped rps empty" []
+    (List.map (fun _ -> 0) (Rp_set.rps s g2));
+  Alcotest.(check int) "groups listed" 1 (List.length (Rp_set.groups s));
+  let s2 = Rp_set.add s g2 [ Addr.router 5 ] in
+  Alcotest.(check int) "after add" 2 (List.length (Rp_set.groups s2));
+  Alcotest.(check int) "original untouched" 1 (List.length (Rp_set.groups s));
+  Alcotest.(check bool) "empty set" false (Rp_set.is_sparse Rp_set.empty g1);
+  let single = Rp_set.single g1 (Addr.router 9) in
+  Alcotest.(check int) "single" 1 (List.length (Rp_set.rps single g1))
+
+(* Message *)
+
+let test_jp_entry_flags () =
+  let e = Message.jp_entry ~wc:true ~rp:true (Addr.router 3) in
+  Alcotest.(check bool) "wc" true e.Message.wc;
+  Alcotest.(check bool) "rp" true e.Message.rp;
+  let plain = Message.jp_entry (Addr.router 3) in
+  Alcotest.(check bool) "defaults off" false (plain.Message.wc || plain.Message.rp)
+
+let test_message_sizes () =
+  let je = Message.jp_entry (Addr.router 3) in
+  let single =
+    Message.join_prune_packet ~src:(Addr.router 0) ~target:(Addr.router 1) ~origin:0 ~group:g1
+      ~joins:[ je ] ~prunes:[] ~holdtime:60.
+  in
+  let bigger =
+    Message.join_prune_packet ~src:(Addr.router 0) ~target:(Addr.router 1) ~origin:0 ~group:g1
+      ~joins:[ je; je; je ] ~prunes:[ je ] ~holdtime:60.
+  in
+  Alcotest.(check bool) "size grows with entries" true
+    (bigger.Packet.size > single.Packet.size);
+  (* Bundling several groups costs less than separate messages. *)
+  let section target group =
+    {
+      Message.target;
+      origin = 0;
+      group;
+      joins = [ je ];
+      prunes = [];
+      holdtime = 60.;
+    }
+  in
+  let bundle =
+    Message.bundle_packet ~src:(Addr.router 0)
+      [ section (Addr.router 1) g1; section (Addr.router 1) g2 ]
+  in
+  Alcotest.(check bool) "bundle smaller than two singles" true
+    (bundle.Packet.size < 2 * single.Packet.size)
+
+let test_message_printers () =
+  let je = Message.jp_entry ~wc:true ~rp:true (Addr.router 3) in
+  let pkt =
+    Message.join_prune_packet ~src:(Addr.router 0) ~target:(Addr.router 1) ~origin:0 ~group:g1
+      ~joins:[ je ] ~prunes:[] ~holdtime:60.
+  in
+  let s = Packet.payload_to_string pkt.Packet.payload in
+  Alcotest.(check bool) "join printed" true
+    (String.length s > 0 && String.sub s 0 6 = "pim-jp");
+  let reach = Message.rp_reachability_packet ~src:(Addr.router 0) ~group:g1 ~rp:(Addr.router 0) in
+  Alcotest.(check bool) "reach printed" true
+    (Packet.payload_to_string reach.Packet.payload <> "<payload>")
+
+(* Deployment aggregation *)
+
+let test_deployment_total_stats () =
+  let eng = Pim_sim.Engine.create () in
+  let net = Pim_sim.Net.create eng (Pim_graph.Classic.line 4) in
+  let rp_set = Rp_set.single g1 (Addr.router 1) in
+  let dep = Pim_core.Deployment.create_static ~config:Config.fast net ~rp_set in
+  Pim_core.Router.join_local (Pim_core.Deployment.router dep 3) g1;
+  Pim_sim.Engine.run ~until:20. eng;
+  let total = Pim_core.Deployment.total_stats dep in
+  let by_hand =
+    Array.fold_left
+      (fun acc r -> acc + (Pim_core.Router.stats r).Pim_core.Router.jp_msgs_sent)
+      0
+      (Pim_core.Deployment.routers dep)
+  in
+  Alcotest.(check int) "aggregation matches" by_hand total.Pim_core.Router.jp_msgs_sent;
+  Alcotest.(check bool) "joins flowed" true (total.Pim_core.Router.joins_sent > 0)
+
+let () =
+  Alcotest.run "pim_core_units"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "scale" `Quick test_config_scale;
+          Alcotest.test_case "fast ratios" `Quick test_config_fast_ratios;
+          Alcotest.test_case "with_jp_period" `Quick test_config_with_jp_period;
+          Alcotest.test_case "with_spt_policy" `Quick test_config_with_policy;
+        ] );
+      ("rp-set", [ Alcotest.test_case "operations" `Quick test_rp_set ]);
+      ( "message",
+        [
+          Alcotest.test_case "jp entry flags" `Quick test_jp_entry_flags;
+          Alcotest.test_case "sizes" `Quick test_message_sizes;
+          Alcotest.test_case "printers" `Quick test_message_printers;
+        ] );
+      ("deployment", [ Alcotest.test_case "total stats" `Quick test_deployment_total_stats ]);
+    ]

@@ -1,0 +1,302 @@
+(* Tests for the experiment harnesses (Pim_exp): sanity of every series
+   the paper reproduction prints. *)
+
+module Fig2a = Pim_exp.Fig2a
+module Fig2b = Pim_exp.Fig2b
+module Fig1 = Pim_exp.Fig1
+module Overhead = Pim_exp.Overhead
+module Failover = Pim_exp.Failover
+module Ablation = Pim_exp.Ablation
+
+let test_fig2a_bounds () =
+  let rows = Fig2a.run ~trials:20 ~seed:7 () in
+  Alcotest.(check int) "six degrees" 6 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "degree %.0f: ratio >= 1 (%.3f)" r.Fig2a.degree r.Fig2a.min_ratio)
+        true (r.Fig2a.min_ratio >= 1.);
+      Alcotest.(check bool)
+        (Printf.sprintf "degree %.0f: mean in a sane band (%.3f)" r.Fig2a.degree r.Fig2a.mean_ratio)
+        true
+        (r.Fig2a.mean_ratio >= 1.0 && r.Fig2a.mean_ratio < 2.0);
+      Alcotest.(check int) "all trials counted" 20 r.Fig2a.trials)
+    rows
+
+let test_fig2a_deterministic () =
+  let a = Fig2a.run ~trials:5 ~seed:3 () in
+  let b = Fig2a.run ~trials:5 ~seed:3 () in
+  Alcotest.(check bool) "same seed, same rows" true (a = b);
+  let c = Fig2a.run ~trials:5 ~seed:4 () in
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+let test_fig2b_concentration () =
+  let rows = Fig2b.run ~trials:2 ~groups:50 ~seed:7 () in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "degree %.0f: CBT concentrates more (%.0f vs %.0f)" r.Fig2b.degree
+           r.Fig2b.cbt_max_flows r.Fig2b.spt_max_flows)
+        true
+        (r.Fig2b.cbt_max_flows >= r.Fig2b.spt_max_flows);
+      (* Hard cap: no link can carry more than groups x senders flows. *)
+      Alcotest.(check bool) "below the groups*senders cap" true
+        (r.Fig2b.cbt_max_flows <= 50. *. 32.))
+    rows
+
+let test_fig2b_rejects_bad_args () =
+  Alcotest.check_raises "senders > members"
+    (Invalid_argument "Fig2b.run: senders must be members") (fun () ->
+      ignore (Fig2b.run ~members:4 ~senders:5 ~trials:1 ~seed:1 ()))
+
+let test_fig1_shapes () =
+  let rows = Fig1.run ~packets:20 () in
+  Alcotest.(check int) "five protocols" 5 (List.length rows);
+  let find name =
+    List.find (fun r -> String.length r.Fig1.protocol >= String.length name
+                        && String.sub r.Fig1.protocol 0 (String.length name) = name) rows
+  in
+  let dvmrp = find "DVMRP" in
+  let pim_spt = find "PIM-SM (SPT" in
+  let cbt = find "CBT" in
+  (* All three members are served (3 x 20, PIM may duplicate one packet in
+     the register transition or drop one in the SPT transition). *)
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s delivers (%d)" r.Fig1.protocol r.Fig1.deliveries)
+        true
+        (r.Fig1.deliveries >= 55 && r.Fig1.deliveries <= 65))
+    rows;
+  (* Dense mode keeps some state at every router that saw the flood;
+     sparse mode state only along the tree. *)
+  Alcotest.(check bool) "dense floods more data than PIM" true
+    (dvmrp.Fig1.data_traversals > pim_spt.Fig1.data_traversals);
+  Alcotest.(check bool) "dense needs almost no control" true
+    (dvmrp.Fig1.control_traversals < pim_spt.Fig1.control_traversals);
+  Alcotest.(check bool) "cbt data is the leanest" true
+    (cbt.Fig1.data_traversals <= pim_spt.Fig1.data_traversals)
+
+let test_overhead_trends () =
+  let rows = Overhead.run ~nodes:30 ~packets:30 ~fractions:[ 0.1; 0.6 ] ~seed:5 () in
+  let find frac name =
+    List.find
+      (fun r -> r.Overhead.fraction = frac && r.Overhead.protocol = name)
+      rows
+  in
+  (* Sparse regime: dense-mode flooding costs far more data transmissions
+     than PIM's explicit-join tree. *)
+  let dvmrp_sparse = find 0.1 "DVMRP" in
+  let pim_sparse = find 0.1 "PIM-SM (shared)" in
+  Alcotest.(check bool)
+    (Printf.sprintf "flooding dominates when sparse (%d vs %d)" dvmrp_sparse.Overhead.data_traversals
+       pim_sparse.Overhead.data_traversals)
+    true
+    (dvmrp_sparse.Overhead.data_traversals > pim_sparse.Overhead.data_traversals);
+  (* MOSPF stores membership at every router: state = members x routers. *)
+  let mospf_sparse = find 0.1 "MOSPF" in
+  let mospf_dense = find 0.6 "MOSPF" in
+  Alcotest.(check int) "mospf state sparse" (3 * 30) mospf_sparse.Overhead.state_entries;
+  Alcotest.(check int) "mospf state dense" (18 * 30) mospf_dense.Overhead.state_entries;
+  (* Everyone delivers (PIM transition losses bounded). *)
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s frac %.1f delivers >= 88%% (%d/%d)" r.Overhead.protocol
+           r.Overhead.fraction r.Overhead.deliveries r.Overhead.expected_deliveries)
+        true
+        (* PIM's SPT-transition window loses a few packets per member
+           (section 3.3); everything else must be complete. *)
+        (float_of_int r.Overhead.deliveries
+        >= 0.88 *. float_of_int r.Overhead.expected_deliveries))
+    rows
+
+let test_failover_gap_tracks_timeout () =
+  let rows = Failover.run ~timeouts:[ 5.; 15. ] ~seed:1 () in
+  match rows with
+  | [ short; long ] ->
+    Alcotest.(check bool) "both fail over" true
+      (short.Failover.failovers >= 1 && long.Failover.failovers >= 1);
+    Alcotest.(check bool) "both resume" true
+      (short.Failover.delivered_after > 0 && long.Failover.delivered_after > 0);
+    Alcotest.(check bool)
+      (Printf.sprintf "shorter timeout, shorter gap (%.1f < %.1f)" short.Failover.gap
+         long.Failover.gap)
+      true
+      (short.Failover.gap < long.Failover.gap)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_ablation_policy_tradeoff () =
+  let rows = Ablation.run_spt_policy ~seed:2 () in
+  match rows with
+  | [ shared; spt; threshold ] ->
+    Alcotest.(check bool) "spt state costs more" true
+      (spt.Ablation.state_entries > shared.Ablation.state_entries);
+    Alcotest.(check bool) "shared tree concentrates at least as much" true
+      (shared.Ablation.max_link_flows >= spt.Ablation.max_link_flows);
+    Alcotest.(check bool) "spt delay no worse" true
+      (spt.Ablation.mean_delay <= shared.Ablation.mean_delay +. 1e-9);
+    Alcotest.(check bool) "threshold in between (state)" true
+      (threshold.Ablation.state_entries >= shared.Ablation.state_entries)
+  | _ -> Alcotest.fail "expected three rows"
+
+let test_refresh_tradeoff () =
+  let rows = Ablation.run_refresh ~periods:[ 2.; 8. ] ~seed:1 () in
+  match rows with
+  | [ fast; slow ] ->
+    Alcotest.(check bool) "faster refresh costs more control" true
+      (fast.Ablation.control_traversals > slow.Ablation.control_traversals);
+    Alcotest.(check bool) "slower refresh keeps stale state longer" true
+      (fast.Ablation.cleanup_time < slow.Ablation.cleanup_time);
+    Alcotest.(check int) "delivery unaffected" fast.Ablation.deliveries slow.Ablation.deliveries
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_groups_scaling () =
+  let rows = Pim_exp.Groups_scaling.run ~nodes:30 ~group_counts:[ 5; 20 ] ~seed:3 () in
+  let find groups name =
+    List.find
+      (fun r -> r.Pim_exp.Groups_scaling.groups = groups && r.Pim_exp.Groups_scaling.protocol = name)
+      rows
+  in
+  (* Everyone delivers completely (PIM's occasional transition duplicate
+     tolerated). *)
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s %d groups complete" r.Pim_exp.Groups_scaling.protocol
+           r.Pim_exp.Groups_scaling.groups)
+        true
+        (r.Pim_exp.Groups_scaling.deliveries >= r.Pim_exp.Groups_scaling.expected_deliveries))
+    rows;
+  (* DVMRP's flooding data cost dwarfs PIM's tree cost, at every scale. *)
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) "flooding costs more data" true
+        ((find n "DVMRP").Pim_exp.Groups_scaling.data_traversals
+        > 2 * (find n "PIM-SM").Pim_exp.Groups_scaling.data_traversals))
+    [ 5; 20 ];
+  (* Dense-mode state is ~groups x routers; MOSPF's is groups x members x
+     routers; PIM's stays proportional to the trees. *)
+  Alcotest.(check int) "dvmrp state = groups x routers" (20 * 30)
+    (find 20 "DVMRP").Pim_exp.Groups_scaling.state_entries;
+  Alcotest.(check int) "mospf state = groups x members x routers" (20 * 3 * 30)
+    (find 20 "MOSPF").Pim_exp.Groups_scaling.state_entries;
+  Alcotest.(check bool) "pim state smallest of the source-tree protocols" true
+    ((find 20 "PIM-SM").Pim_exp.Groups_scaling.state_entries
+    < (find 20 "DVMRP").Pim_exp.Groups_scaling.state_entries)
+
+let test_aggregation () =
+  let rows = Pim_exp.Aggregation.run ~source_counts:[ 1; 6 ] ~packets:20 ~seed:1 () in
+  let find sources aggregated =
+    List.find
+      (fun r ->
+        r.Pim_exp.Aggregation.sources = sources && r.Pim_exp.Aggregation.aggregated = aggregated)
+      rows
+  in
+  (* Identical complete delivery either way: prefix joins really do keep
+     the per-source state refreshed. *)
+  List.iter
+    (fun r ->
+      Alcotest.(check int)
+        (Printf.sprintf "sources=%d agg=%b complete" r.Pim_exp.Aggregation.sources
+           r.Pim_exp.Aggregation.aggregated)
+        r.Pim_exp.Aggregation.expected r.Pim_exp.Aggregation.deliveries)
+    rows;
+  (* With one source there is nothing to aggregate. *)
+  Alcotest.(check int) "single source unchanged"
+    (find 1 false).Pim_exp.Aggregation.join_entries
+    (find 1 true).Pim_exp.Aggregation.join_entries;
+  (* With several, message content shrinks substantially. *)
+  Alcotest.(check bool) "fewer join entries" true
+    (2 * (find 6 true).Pim_exp.Aggregation.join_entries
+    < (find 6 false).Pim_exp.Aggregation.join_entries);
+  Alcotest.(check bool) "fewer control bytes" true
+    ((find 6 true).Pim_exp.Aggregation.control_bytes
+    < (find 6 false).Pim_exp.Aggregation.control_bytes)
+
+let test_churn () =
+  let rows = Pim_exp.Churn.run ~receivers:4 ~duration:120. ~on_off_pairs:[ (30., 15.) ] ~seed:2 () in
+  match rows with
+  | [ r ] ->
+    Alcotest.(check bool) "churn happened" true (r.Pim_exp.Churn.joins_observed > 4);
+    Alcotest.(check bool) "joins eventually deliver" true
+      (r.Pim_exp.Churn.mean_join_latency > 0. && r.Pim_exp.Churn.mean_join_latency < 30.);
+    Alcotest.(check bool) "stream flowed" true (r.Pim_exp.Churn.deliveries > 50)
+  | _ -> Alcotest.fail "expected one row"
+
+let test_loss_robustness () =
+  let rows = Pim_exp.Loss.run ~loss_rates:[ 0.; 0.25 ] ~packets:40 ~seed:4 () in
+  let find name loss =
+    List.find
+      (fun r -> r.Pim_exp.Loss.protocol = name && r.Pim_exp.Loss.loss = loss)
+      rows
+  in
+  (* Both keep delivering the bulk of the stream at 25% control loss. *)
+  List.iter
+    (fun name ->
+      let r = find name 0.25 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s survives 25%% control loss (%d/%d)" name r.Pim_exp.Loss.deliveries
+           r.Pim_exp.Loss.expected)
+        true
+        (float_of_int r.Pim_exp.Loss.deliveries >= 0.8 *. float_of_int r.Pim_exp.Loss.expected))
+    [ "PIM-SM"; "CBT" ];
+  (* PIM's periodic-refresh control rate does not grow with loss. *)
+  Alcotest.(check bool) "pim control constant-rate" true
+    ((find "PIM-SM" 0.25).Pim_exp.Loss.control_traversals
+    <= (find "PIM-SM" 0.).Pim_exp.Loss.control_traversals);
+  Alcotest.(check bool) "losses actually happened" true
+    ((find "PIM-SM" 0.25).Pim_exp.Loss.control_dropped > 0)
+
+let test_metrics_classification () =
+  let topo = Pim_graph.Classic.line 2 in
+  let eng = Pim_sim.Engine.create () in
+  let net = Pim_sim.Net.create eng topo in
+  let m = Pim_exp.Metrics.attach net in
+  Pim_sim.Net.set_handler net 1 (fun ~iface:_ _ -> ());
+  let g = Pim_net.Group.of_index 1 in
+  let data = Pim_mcast.Mdata.make ~src:(Pim_net.Addr.host ~router:0 1) ~group:g ~seq:0 ~sent_at:0. () in
+  Pim_sim.Net.send net 0 ~iface:0 data;
+  let ctrl =
+    Pim_net.Packet.unicast ~src:(Pim_net.Addr.router 0) ~dst:(Pim_net.Addr.router 1) ~size:24
+      (Pim_net.Packet.Raw "ctl")
+  in
+  Pim_sim.Net.send net 0 ~iface:0 ctrl;
+  (* A register carrying data counts as data. *)
+  let reg = Pim_core.Message.register_packet ~src:(Pim_net.Addr.router 0) ~rp:(Pim_net.Addr.router 1) data in
+  Pim_sim.Net.send net 0 ~iface:0 reg;
+  Pim_sim.Engine.run eng;
+  Alcotest.(check int) "data count" 2 (Pim_exp.Metrics.data_traversals m);
+  Alcotest.(check int) "control count" 1 (Pim_exp.Metrics.control_traversals m);
+  Alcotest.(check bool) "bytes accounted" true (Pim_exp.Metrics.data_bytes m > 2000);
+  Alcotest.(check int) "max link" 3 (Pim_exp.Metrics.max_link_data m + Pim_exp.Metrics.control_traversals m);
+  Pim_exp.Metrics.reset m;
+  Alcotest.(check int) "reset" 0 (Pim_exp.Metrics.data_traversals m)
+
+let () =
+  Alcotest.run "pim_exp"
+    [
+      ( "fig2a",
+        [
+          Alcotest.test_case "ratio bounds" `Quick test_fig2a_bounds;
+          Alcotest.test_case "deterministic" `Quick test_fig2a_deterministic;
+        ] );
+      ( "fig2b",
+        [
+          Alcotest.test_case "concentration" `Quick test_fig2b_concentration;
+          Alcotest.test_case "rejects bad args" `Quick test_fig2b_rejects_bad_args;
+        ] );
+      ("fig1", [ Alcotest.test_case "shapes" `Quick test_fig1_shapes ]);
+      ("overhead", [ Alcotest.test_case "trends" `Quick test_overhead_trends ]);
+      ("failover", [ Alcotest.test_case "gap tracks timeout" `Quick test_failover_gap_tracks_timeout ]);
+      ( "ablation",
+        [
+          Alcotest.test_case "policy tradeoff" `Quick test_ablation_policy_tradeoff;
+          Alcotest.test_case "refresh tradeoff" `Quick test_refresh_tradeoff;
+        ] );
+      ("groups", [ Alcotest.test_case "scaling with group count" `Quick test_groups_scaling ]);
+      ("aggregation", [ Alcotest.test_case "source aggregation (E6)" `Quick test_aggregation ]);
+      ("churn", [ Alcotest.test_case "dynamic groups (E7)" `Quick test_churn ]);
+      ("loss", [ Alcotest.test_case "control-loss robustness (E8)" `Quick test_loss_robustness ]);
+      ("metrics", [ Alcotest.test_case "classification" `Quick test_metrics_classification ]);
+    ]

@@ -1,0 +1,195 @@
+(* Tests for Pim_igmp: host reports, suppression, router membership
+   database, querier selection. *)
+
+module Engine = Pim_sim.Engine
+module Net = Pim_sim.Net
+module Topology = Pim_graph.Topology
+module Addr = Pim_net.Addr
+module Group = Pim_net.Group
+module Host = Pim_igmp.Host
+module Router = Pim_igmp.Router
+module Message = Pim_igmp.Message
+
+let g = Group.of_index 1
+
+let g2 = Group.of_index 2
+
+let fast = { Router.query_interval = 5.; max_resp = 1.; robustness = 2 }
+
+(* One router with a stub LAN; the router's handler feeds IGMP. *)
+let mk_world ?(routers = [ 0 ]) () =
+  let n = List.fold_left max 0 routers + 1 in
+  let b = Topology.builder n in
+  (* Realistic LAN propagation is far below the query response spread —
+     report suppression depends on overhearing peers in time. *)
+  let lan = Topology.add_lan ~delay:0.001 b routers in
+  let topo = Topology.freeze b in
+  let eng = Engine.create () in
+  let net = Net.create eng topo in
+  let igmps =
+    List.map
+      (fun u ->
+        let r = Router.create ~config:fast net ~node:u in
+        Net.set_handler net u (fun ~iface pkt -> ignore (Router.handle_packet r ~iface pkt));
+        (u, r))
+      routers
+  in
+  (eng, net, lan, igmps)
+
+let test_unsolicited_report () =
+  let eng, net, lan, igmps = mk_world () in
+  let r = List.assoc 0 igmps in
+  let joins = ref [] in
+  Router.on_join r (fun ~iface:_ gg -> joins := gg :: !joins);
+  let h = Host.create net ~link:lan ~addr:(Addr.host ~router:0 1) () in
+  Host.join h g;
+  Engine.run ~until:2. eng;
+  Alcotest.(check bool) "membership learned" true (Router.has_member r g);
+  Alcotest.(check int) "join callback" 1 (List.length !joins);
+  Alcotest.(check bool) "other group absent" false (Router.has_member r g2)
+
+let test_query_response () =
+  let eng, net, lan, igmps = mk_world () in
+  let r = List.assoc 0 igmps in
+  (* Host joins silently; only the periodic query reveals it. *)
+  let h = Host.create ~unsolicited:false net ~link:lan ~addr:(Addr.host ~router:0 1) () in
+  Host.join h g;
+  (* Before the first query (t=0.1) the silent join is invisible. *)
+  Engine.run ~until:0.05 eng;
+  Alcotest.(check bool) "not yet known" false (Router.has_member r g);
+  Engine.run ~until:8. eng;
+  Alcotest.(check bool) "learned from query" true (Router.has_member r g)
+
+let test_report_suppression () =
+  let eng, net, lan, igmps = mk_world () in
+  let _r = List.assoc 0 igmps in
+  (* Count reports on the wire. *)
+  let reports = ref 0 in
+  Net.on_deliver net (fun _ pkt ->
+      match pkt.Pim_net.Packet.payload with Message.Report _ -> incr reports | _ -> ());
+  let mk i =
+    let h = Host.create ~unsolicited:false net ~link:lan ~addr:(Addr.host ~router:0 i) ~seed:i () in
+    Host.join h g;
+    h
+  in
+  let _hosts = List.map mk [ 1; 2; 3; 4; 5 ] in
+  (* One query cycle: suppression should keep reports well below the
+     5-per-query worst case. *)
+  Engine.run ~until:8. eng;
+  Alcotest.(check bool) "at least one report" true (!reports >= 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "suppression (%d reports)" !reports)
+    true (!reports < 5)
+
+let test_membership_ages_out () =
+  let eng, net, lan, igmps = mk_world () in
+  let r = List.assoc 0 igmps in
+  let leaves = ref [] in
+  Router.on_leave r (fun ~iface:_ gg -> leaves := gg :: !leaves);
+  let h = Host.create net ~link:lan ~addr:(Addr.host ~router:0 1) () in
+  Host.join h g;
+  Engine.run ~until:2. eng;
+  Alcotest.(check bool) "member" true (Router.has_member r g);
+  Host.leave h g;
+  (* hold time = robustness * interval + max_resp = 11s; plus sweep *)
+  Engine.run ~until:30. eng;
+  Alcotest.(check bool) "aged out" false (Router.has_member r g);
+  Alcotest.(check int) "leave callback" 1 (List.length !leaves)
+
+let test_membership_refreshed_while_joined () =
+  let eng, net, lan, igmps = mk_world () in
+  let r = List.assoc 0 igmps in
+  let h = Host.create net ~link:lan ~addr:(Addr.host ~router:0 1) () in
+  Host.join h g;
+  Engine.run ~until:40. eng;
+  Alcotest.(check bool) "still member after many query cycles" true (Router.has_member r g);
+  ignore h
+
+let test_querier_election () =
+  (* Two routers on the LAN: only the lower id queries. *)
+  let eng, net, _, _igmps = mk_world ~routers:[ 0; 1 ] () in
+  let queries_from = Hashtbl.create 4 in
+  Net.on_deliver net (fun _ pkt ->
+      match pkt.Pim_net.Packet.payload with
+      | Message.Query _ ->
+        let src = pkt.Pim_net.Packet.src in
+        Hashtbl.replace queries_from src ()
+      | _ -> ());
+  Engine.run ~until:12. eng;
+  Alcotest.(check bool) "router 0 queries" true (Hashtbl.mem queries_from (Addr.router 0));
+  Alcotest.(check bool) "router 1 silent" false (Hashtbl.mem queries_from (Addr.router 1))
+
+let test_querier_takeover_on_death () =
+  let eng, net, _, _igmps = mk_world ~routers:[ 0; 1 ] () in
+  Net.set_node_up net 0 false;
+  let queries_from = Hashtbl.create 4 in
+  Net.on_deliver net (fun _ pkt ->
+      match pkt.Pim_net.Packet.payload with
+      | Message.Query _ -> Hashtbl.replace queries_from pkt.Pim_net.Packet.src ()
+      | _ -> ());
+  Engine.run ~until:12. eng;
+  Alcotest.(check bool) "router 1 takes over" true (Hashtbl.mem queries_from (Addr.router 1))
+
+let test_member_ifaces_and_groups () =
+  let eng, net, lan, igmps = mk_world () in
+  let r = List.assoc 0 igmps in
+  let h = Host.create net ~link:lan ~addr:(Addr.host ~router:0 1) () in
+  Host.join h g;
+  Host.join h g2;
+  Engine.run ~until:2. eng;
+  let iface = Topology.iface_of_link (Net.topo net) 0 lan in
+  Alcotest.(check (list int)) "iface recorded" [ iface ] (Router.member_ifaces r g);
+  Alcotest.(check int) "both groups" 2 (List.length (Router.groups r))
+
+let test_rp_hints () =
+  let eng, net, lan, igmps = mk_world () in
+  let r = List.assoc 0 igmps in
+  let rps = [ Addr.router 9; Addr.router 4 ] in
+  let h =
+    Host.create net ~link:lan ~addr:(Addr.host ~router:0 1)
+      ~rps_for:(fun gg -> if Group.equal gg g then rps else [])
+      ()
+  in
+  Host.join h g;
+  Engine.run ~until:2. eng;
+  Alcotest.(check int) "hints stored" 2 (List.length (Router.rp_hint r g));
+  Alcotest.(check (list string)) "hint order preserved" [ "10.0.0.9"; "10.0.0.4" ]
+    (List.map Addr.to_string (Router.rp_hint r g));
+  Alcotest.(check int) "no hints for other group" 0 (List.length (Router.rp_hint r g2))
+
+let test_host_data_delivery () =
+  let eng, net, lan, _igmps = mk_world () in
+  let h1 = Host.create net ~link:lan ~addr:(Addr.host ~router:0 1) () in
+  let h2 = Host.create net ~link:lan ~addr:(Addr.host ~router:0 2) () in
+  let got1 = ref 0 and got2 = ref 0 in
+  Host.on_data h1 (fun _ -> incr got1);
+  Host.on_data h2 (fun _ -> incr got2);
+  Host.join h1 g;
+  (* h2 joined nothing: must not receive. *)
+  Engine.run ~until:1. eng;
+  Host.send_data h2 ~group:g ();
+  Engine.run ~until:3. eng;
+  Alcotest.(check int) "member hears" 1 !got1;
+  Alcotest.(check int) "non-member does not" 0 !got2;
+  Alcotest.(check int) "sender counter" 1 (Host.sent h2)
+
+let () =
+  Alcotest.run "pim_igmp"
+    [
+      ( "membership",
+        [
+          Alcotest.test_case "unsolicited report" `Quick test_unsolicited_report;
+          Alcotest.test_case "query response" `Quick test_query_response;
+          Alcotest.test_case "report suppression" `Quick test_report_suppression;
+          Alcotest.test_case "ages out" `Quick test_membership_ages_out;
+          Alcotest.test_case "refreshed while joined" `Quick test_membership_refreshed_while_joined;
+          Alcotest.test_case "member ifaces and groups" `Quick test_member_ifaces_and_groups;
+          Alcotest.test_case "rp hints" `Quick test_rp_hints;
+        ] );
+      ( "querier",
+        [
+          Alcotest.test_case "election" `Quick test_querier_election;
+          Alcotest.test_case "takeover on death" `Quick test_querier_takeover_on_death;
+        ] );
+      ("host", [ Alcotest.test_case "data delivery" `Quick test_host_data_delivery ]);
+    ]

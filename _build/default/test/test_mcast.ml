@@ -1,0 +1,188 @@
+(* Tests for Pim_mcast: data packets, forwarding entries, FIB, delivery
+   recorder. *)
+
+module Fwd = Pim_mcast.Fwd
+module Mdata = Pim_mcast.Mdata
+module Delivery = Pim_mcast.Delivery
+module Addr = Pim_net.Addr
+module Group = Pim_net.Group
+module Packet = Pim_net.Packet
+
+let g = Group.of_index 1
+
+let g2 = Group.of_index 2
+
+let s = Addr.host ~router:3 1
+
+let s2 = Addr.host ~router:4 1
+
+let rp = Addr.router 9
+
+(* Mdata *)
+
+let test_mdata () =
+  let pkt = Mdata.make ~src:s ~group:g ~seq:5 ~sent_at:1.5 () in
+  Alcotest.(check bool) "is_data" true (Mdata.is_data pkt);
+  Alcotest.(check int) "default size" 1000 pkt.Packet.size;
+  (match Mdata.info pkt with
+  | Some i ->
+    Alcotest.(check int) "seq" 5 i.Mdata.seq;
+    Alcotest.(check (float 1e-9)) "sent_at" 1.5 i.Mdata.sent_at
+  | None -> Alcotest.fail "info expected");
+  (match Mdata.group pkt with
+  | Some gg -> Alcotest.(check bool) "group" true (Group.equal g gg)
+  | None -> Alcotest.fail "group expected");
+  let other = Packet.unicast ~src:s ~dst:rp ~size:1 (Packet.Raw "x") in
+  Alcotest.(check bool) "non-data" false (Mdata.is_data other)
+
+(* Entries *)
+
+let test_star_entry_shape () =
+  let e = Fwd.make_star ~group:g ~rp ~iif:(Some 2) ~expires:10. in
+  Alcotest.(check bool) "is_star" true (Fwd.is_star e);
+  Alcotest.(check bool) "wc" true e.Fwd.wc_bit;
+  Alcotest.(check bool) "rp bit" true e.Fwd.rp_bit;
+  Alcotest.(check bool) "spt clear" false e.Fwd.spt_bit;
+  Alcotest.(check bool) "rp stored" true (e.Fwd.rp = Some rp)
+
+let test_sg_entry_shape () =
+  let e = Fwd.make_sg ~group:g ~source:s ~iif:(Some 1) ~expires:10. () in
+  Alcotest.(check bool) "not star" false (Fwd.is_star e);
+  Alcotest.(check bool) "no wc" false e.Fwd.wc_bit;
+  Alcotest.(check bool) "no rp bit" false e.Fwd.rp_bit;
+  let neg = Fwd.make_sg ~group:g ~source:s ~rp_bit:true ~iif:(Some 1) ~expires:10. () in
+  Alcotest.(check bool) "negative cache rp bit" true neg.Fwd.rp_bit
+
+let test_oif_lifecycle () =
+  let e = Fwd.make_sg ~group:g ~source:s ~iif:(Some 0) ~expires:100. () in
+  Fwd.add_oif e 1 ~expires:10. ~local:false;
+  Fwd.add_oif e 2 ~expires:20. ~local:false;
+  Alcotest.(check (list int)) "live at 5" [ 1; 2 ] (Fwd.live_oifs e ~now:5.);
+  Alcotest.(check (list int)) "one expired at 15" [ 2 ] (Fwd.live_oifs e ~now:15.);
+  (* Refresh extends, never shortens. *)
+  Fwd.add_oif e 1 ~expires:30. ~local:false;
+  Fwd.add_oif e 1 ~expires:12. ~local:false;
+  Alcotest.(check (list int)) "refreshed" [ 1; 2 ] (Fwd.live_oifs e ~now:15.);
+  Alcotest.(check (list int)) "max kept" [ 1 ] (Fwd.live_oifs e ~now:25.);
+  Fwd.remove_oif e 1;
+  Alcotest.(check (list int)) "removed" [] (Fwd.live_oifs e ~now:5. |> List.filter (( = ) 1))
+
+let test_oif_local_flag () =
+  let e = Fwd.make_star ~group:g ~rp ~iif:(Some 0) ~expires:100. in
+  Fwd.add_oif e 3 ~expires:0. ~local:true;
+  (* Local membership keeps the oif alive past its timer. *)
+  Alcotest.(check (list int)) "local oif immortal" [ 3 ] (Fwd.live_oifs e ~now:50.);
+  Alcotest.(check bool) "no expiry pruning of local" false (Fwd.prune_expired_oifs e ~now:50.);
+  (match Fwd.find_oif e 3 with
+  | Some o -> o.Fwd.local <- false
+  | None -> Alcotest.fail "oif expected");
+  Alcotest.(check (list int)) "dies once non-local" [] (Fwd.live_oifs e ~now:50.);
+  Alcotest.(check bool) "now prunable" true (Fwd.prune_expired_oifs e ~now:50.)
+
+let test_live_oifs_exclude_iif () =
+  let e = Fwd.make_sg ~group:g ~source:s ~iif:(Some 1) ~expires:100. () in
+  Fwd.add_oif e 1 ~expires:50. ~local:false;
+  Fwd.add_oif e 2 ~expires:50. ~local:false;
+  Alcotest.(check (list int)) "iif excluded" [ 2 ] (Fwd.live_oifs e ~now:0.)
+
+let test_oif_or_local_flag_merge () =
+  let e = Fwd.make_star ~group:g ~rp ~iif:None ~expires:100. in
+  Fwd.add_oif e 1 ~expires:10. ~local:false;
+  Fwd.add_oif e 1 ~expires:0. ~local:true;
+  match Fwd.find_oif e 1 with
+  | Some o -> Alcotest.(check bool) "local flag or'ed in" true o.Fwd.local
+  | None -> Alcotest.fail "oif expected"
+
+(* FIB *)
+
+let test_fib_match_rules () =
+  let fib = Fwd.create () in
+  let star = Fwd.make_star ~group:g ~rp ~iif:(Some 0) ~expires:100. in
+  Fwd.insert fib star;
+  (match Fwd.match_data fib g ~src:s with
+  | Some e -> Alcotest.(check bool) "star match" true (Fwd.is_star e)
+  | None -> Alcotest.fail "match expected");
+  let sg = Fwd.make_sg ~group:g ~source:s ~iif:(Some 1) ~expires:100. () in
+  Fwd.insert fib sg;
+  (match Fwd.match_data fib g ~src:s with
+  | Some e -> Alcotest.(check bool) "sg preferred" false (Fwd.is_star e)
+  | None -> Alcotest.fail "match expected");
+  (match Fwd.match_data fib g ~src:s2 with
+  | Some e -> Alcotest.(check bool) "other source falls to star" true (Fwd.is_star e)
+  | None -> Alcotest.fail "match expected");
+  Alcotest.(check bool) "other group no match" true (Fwd.match_data fib g2 ~src:s = None)
+
+let test_fib_insert_remove () =
+  let fib = Fwd.create () in
+  Fwd.insert fib (Fwd.make_star ~group:g ~rp ~iif:None ~expires:1.);
+  Alcotest.(check int) "count" 1 (Fwd.count fib);
+  Alcotest.check_raises "duplicate" (Invalid_argument "Fwd.insert: duplicate entry") (fun () ->
+      Fwd.insert fib (Fwd.make_star ~group:g ~rp ~iif:None ~expires:1.));
+  Fwd.remove fib g None;
+  Alcotest.(check int) "removed" 0 (Fwd.count fib)
+
+let test_fib_group_entries_order () =
+  let fib = Fwd.create () in
+  Fwd.insert fib (Fwd.make_sg ~group:g ~source:s2 ~iif:None ~expires:1. ());
+  Fwd.insert fib (Fwd.make_star ~group:g ~rp ~iif:None ~expires:1.);
+  Fwd.insert fib (Fwd.make_sg ~group:g ~source:s ~iif:None ~expires:1. ());
+  Fwd.insert fib (Fwd.make_star ~group:g2 ~rp ~iif:None ~expires:1.);
+  let entries = Fwd.group_entries fib g in
+  Alcotest.(check int) "three for g" 3 (List.length entries);
+  (match entries with
+  | first :: _ -> Alcotest.(check bool) "star first" true (Fwd.is_star first)
+  | [] -> Alcotest.fail "entries expected");
+  Alcotest.(check int) "one for g2" 1 (List.length (Fwd.group_entries fib g2))
+
+let prop_fib_find_after_insert =
+  QCheck.Test.make ~name:"fib: inserted entries are found" ~count:200
+    QCheck.(pair (int_bound 100) (option (int_bound 100)))
+    (fun (gi, si) ->
+      let fib = Fwd.create () in
+      let group = Group.of_index gi in
+      let source = Option.map (fun i -> Addr.host ~router:i 1) si in
+      (match source with
+      | None -> Fwd.insert fib (Fwd.make_star ~group ~rp ~iif:None ~expires:1.)
+      | Some src -> Fwd.insert fib (Fwd.make_sg ~group ~source:src ~iif:None ~expires:1. ()));
+      match source with
+      | None -> Fwd.find_star fib group <> None
+      | Some src -> Fwd.find_sg fib group src <> None)
+
+(* Delivery recorder *)
+
+let test_delivery () =
+  let d = Delivery.create () in
+  Delivery.record d ~group:g ~src:s ~seq:0 ~receiver:4 ~sent_at:1. ~at:3.;
+  Delivery.record d ~group:g ~src:s ~seq:0 ~receiver:7 ~sent_at:1. ~at:4.;
+  Delivery.record d ~group:g ~src:s ~seq:0 ~receiver:4 ~sent_at:1. ~at:5.;
+  Alcotest.(check (list int)) "receivers" [ 4; 7 ] (Delivery.receivers d ~group:g ~src:s ~seq:0);
+  Alcotest.(check int) "copies" 2 (Delivery.copies d ~group:g ~src:s ~seq:0 ~receiver:4);
+  Alcotest.(check int) "total" 3 (Delivery.total d);
+  Alcotest.(check (option (float 1e-9))) "first-copy delay" (Some 2.)
+    (Delivery.delay_of d ~group:g ~src:s ~seq:0 ~receiver:4);
+  Alcotest.(check int) "delays recorded" 3 (List.length (Delivery.delays d));
+  Delivery.clear d;
+  Alcotest.(check int) "cleared" 0 (Delivery.total d)
+
+let () =
+  Alcotest.run "pim_mcast"
+    [
+      ("mdata", [ Alcotest.test_case "packet shape" `Quick test_mdata ]);
+      ( "entries",
+        [
+          Alcotest.test_case "star shape" `Quick test_star_entry_shape;
+          Alcotest.test_case "sg shape" `Quick test_sg_entry_shape;
+          Alcotest.test_case "oif lifecycle" `Quick test_oif_lifecycle;
+          Alcotest.test_case "local flag" `Quick test_oif_local_flag;
+          Alcotest.test_case "live excludes iif" `Quick test_live_oifs_exclude_iif;
+          Alcotest.test_case "local flag merge" `Quick test_oif_or_local_flag_merge;
+        ] );
+      ( "fib",
+        [
+          Alcotest.test_case "match rules" `Quick test_fib_match_rules;
+          Alcotest.test_case "insert/remove" `Quick test_fib_insert_remove;
+          Alcotest.test_case "group entries order" `Quick test_fib_group_entries_order;
+          QCheck_alcotest.to_alcotest prop_fib_find_after_insert;
+        ] );
+      ("delivery", [ Alcotest.test_case "recorder" `Quick test_delivery ]);
+    ]

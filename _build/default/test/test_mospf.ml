@@ -1,0 +1,150 @@
+(* Tests for the MOSPF-style link-state multicast baseline (Pim_mospf). *)
+
+module Engine = Pim_sim.Engine
+module Net = Pim_sim.Net
+module Classic = Pim_graph.Classic
+module Group = Pim_net.Group
+module Mospf = Pim_mospf.Router
+
+let g = Group.of_index 1
+
+let g2 = Group.of_index 2
+
+let mk topo =
+  let eng = Engine.create () in
+  let net = Net.create eng topo in
+  let dep = Mospf.Deployment.create net in
+  (eng, net, dep)
+
+let send_n eng dep ~from ~start n =
+  let r = Mospf.Deployment.router dep from in
+  for i = 0 to n - 1 do
+    ignore
+      (Engine.schedule_at eng (start +. float_of_int i) (fun () ->
+           Mospf.send_local_data r ~group:g ()))
+  done
+
+(* Membership floods to every router — the state cost the paper cites. *)
+let test_membership_floods_everywhere () =
+  let eng, _, dep = mk (Classic.grid 3 3) in
+  Mospf.join_local (Mospf.Deployment.router dep 8) g;
+  Engine.run ~until:10. eng;
+  for u = 0 to 8 do
+    Alcotest.(check bool)
+      (Printf.sprintf "router %d knows member at 8" u)
+      true
+      (Mospf.knows_member (Mospf.Deployment.router dep u) 8 g)
+  done;
+  (* 9 routers x 1 membership pair. *)
+  Alcotest.(check int) "total membership entries" 9 (Mospf.Deployment.total_membership_entries dep);
+  Alcotest.(check bool) "lsas flooded" true
+    ((Mospf.Deployment.total_stats dep).Mospf.lsa_sent > 0)
+
+let test_delivery_on_spt () =
+  let eng, _, dep = mk (Classic.grid 3 3) in
+  let members = [ 2; 6; 8 ] in
+  let counts = Array.make 9 0 in
+  List.iter
+    (fun m ->
+      Mospf.join_local (Mospf.Deployment.router dep m) g;
+      Mospf.on_local_data (Mospf.Deployment.router dep m) (fun _ -> counts.(m) <- counts.(m) + 1))
+    members;
+  Engine.run ~until:10. eng;
+  send_n eng dep ~from:0 ~start:10. 5;
+  Engine.run ~until:30. eng;
+  List.iter
+    (fun m -> Alcotest.(check int) (Printf.sprintf "member %d" m) 5 counts.(m))
+    members;
+  Alcotest.(check bool) "dijkstras ran" true ((Mospf.Deployment.total_stats dep).Mospf.spf_runs > 0)
+
+(* The forwarding cache amortises Dijkstra: per (source, group), not per
+   packet. *)
+let test_spf_cached () =
+  let eng, _, dep = mk (Classic.line 4) in
+  Mospf.join_local (Mospf.Deployment.router dep 3) g;
+  Engine.run ~until:5. eng;
+  send_n eng dep ~from:0 ~start:5. 10;
+  Engine.run ~until:30. eng;
+  let runs = (Mospf.Deployment.total_stats dep).Mospf.spf_runs in
+  (* 4 routers, one (source, group): roughly one run per on-tree router,
+     not one per packet per router. *)
+  Alcotest.(check bool) (Printf.sprintf "cached (%d runs)" runs) true (runs <= 8)
+
+(* Membership changes invalidate the cache and reroute. *)
+let test_membership_change_invalidates () =
+  let eng, _, dep = mk (Classic.line 4) in
+  Mospf.join_local (Mospf.Deployment.router dep 3) g;
+  let got2 = ref 0 in
+  Mospf.on_local_data (Mospf.Deployment.router dep 2) (fun _ -> incr got2);
+  Engine.run ~until:5. eng;
+  send_n eng dep ~from:0 ~start:5. 3;
+  Engine.run ~until:15. eng;
+  Alcotest.(check int) "not a member yet" 0 !got2;
+  (* Router 2 becomes a member mid-stream. *)
+  Mospf.join_local (Mospf.Deployment.router dep 2) g;
+  Engine.run ~until:17. eng;
+  send_n eng dep ~from:0 ~start:17. 3;
+  Engine.run ~until:30. eng;
+  Alcotest.(check int) "receives after joining" 3 !got2
+
+let test_leave_stops_delivery () =
+  let eng, _, dep = mk (Classic.line 4) in
+  let r3 = Mospf.Deployment.router dep 3 in
+  Mospf.join_local r3 g;
+  let got = ref 0 in
+  Mospf.on_local_data r3 (fun _ -> incr got);
+  Engine.run ~until:5. eng;
+  send_n eng dep ~from:0 ~start:5. 3;
+  Engine.run ~until:15. eng;
+  Alcotest.(check int) "before leave" 3 !got;
+  Mospf.leave_local r3 g;
+  Engine.run ~until:17. eng;
+  send_n eng dep ~from:0 ~start:17. 3;
+  Engine.run ~until:30. eng;
+  Alcotest.(check int) "no delivery after leave" 3 !got
+
+let test_link_failure_reroutes () =
+  let eng, net, dep = mk (Classic.ring 4) in
+  let r2 = Mospf.Deployment.router dep 2 in
+  Mospf.join_local r2 g;
+  let got = ref 0 in
+  Mospf.on_local_data r2 (fun _ -> incr got);
+  Engine.run ~until:5. eng;
+  send_n eng dep ~from:0 ~start:5. 3;
+  Engine.run ~until:15. eng;
+  let before = !got in
+  Alcotest.(check int) "before failure" 3 before;
+  (* Cut one side of the ring; the SPT recomputes around it. *)
+  Net.set_link_up net 0 false;
+  send_n eng dep ~from:0 ~start:16. 3;
+  Engine.run ~until:30. eng;
+  Alcotest.(check int) "after reroute" 6 !got
+
+let test_groups_independent () =
+  let eng, _, dep = mk (Classic.line 3) in
+  Mospf.join_local (Mospf.Deployment.router dep 2) g;
+  let got = ref 0 in
+  Mospf.on_local_data (Mospf.Deployment.router dep 2) (fun _ -> incr got);
+  Engine.run ~until:5. eng;
+  (* Send to the OTHER group: nothing must arrive. *)
+  let r0 = Mospf.Deployment.router dep 0 in
+  ignore (Engine.schedule_at eng 5. (fun () -> Mospf.send_local_data r0 ~group:g2 ()));
+  Engine.run ~until:15. eng;
+  Alcotest.(check int) "no cross-group delivery" 0 !got
+
+let () =
+  Alcotest.run "pim_mospf"
+    [
+      ( "mospf",
+        [
+          Alcotest.test_case "membership floods everywhere" `Quick
+            test_membership_floods_everywhere;
+          Alcotest.test_case "delivery on spt" `Quick test_delivery_on_spt;
+          Alcotest.test_case "spf cached" `Quick test_spf_cached;
+          Alcotest.test_case "membership change invalidates" `Quick
+            test_membership_change_invalidates;
+          Alcotest.test_case "leave stops delivery" `Quick test_leave_stops_delivery;
+          Alcotest.test_case "link failure reroutes" `Quick test_link_failure_reroutes;
+          Alcotest.test_case "groups independent" `Quick test_groups_independent;
+        ] );
+    ]

@@ -1,0 +1,260 @@
+(* Tests for the unicast substrates: Static, Distance_vector, Link_state,
+   and the Rib interface they share. *)
+
+module Engine = Pim_sim.Engine
+module Net = Pim_sim.Net
+module Topology = Pim_graph.Topology
+module Classic = Pim_graph.Classic
+module Addr = Pim_net.Addr
+module Rib = Pim_routing.Rib
+module Static = Pim_routing.Static
+module Dv = Pim_routing.Distance_vector
+module Ls = Pim_routing.Link_state
+module Prng = Pim_util.Prng
+
+let mk topo =
+  let eng = Engine.create () in
+  let net = Net.create eng topo in
+  (eng, net)
+
+(* Rib *)
+
+let test_rib_resolve () =
+  Alcotest.(check (option int)) "router" (Some 7) (Rib.resolve (Addr.router 7));
+  Alcotest.(check (option int)) "host" (Some 7) (Rib.resolve (Addr.host ~router:7 3));
+  Alcotest.(check (option int)) "multicast" None (Rib.resolve (Addr.of_octets 225 0 0 1))
+
+(* Static *)
+
+let test_static_line () =
+  let _, net = mk (Classic.line 4) in
+  let s = Static.create net in
+  let r0 = Static.rib s 0 in
+  (match r0.Rib.next_hop (Addr.router 3) with
+  | Some (iface, next) ->
+    Alcotest.(check int) "iface" 0 iface;
+    Alcotest.(check int) "next hop" 1 next
+  | None -> Alcotest.fail "route expected");
+  Alcotest.(check (option int)) "distance" (Some 3) (r0.Rib.distance (Addr.router 3));
+  Alcotest.(check bool) "self route none" true (r0.Rib.next_hop (Addr.router 0) = None);
+  Alcotest.(check (option int)) "self distance" (Some 0) (r0.Rib.distance (Addr.router 0))
+
+let test_static_host_routes () =
+  let _, net = mk (Classic.line 3) in
+  let s = Static.create net in
+  let r0 = Static.rib s 0 in
+  (match r0.Rib.next_hop (Addr.host ~router:2 1) with
+  | Some (_, next) -> Alcotest.(check int) "host via its router path" 1 next
+  | None -> Alcotest.fail "host route expected");
+  Alcotest.(check (option int)) "rpf iface" (Some 0) (Rib.rpf_iface r0 (Addr.host ~router:2 1))
+
+let test_static_reroute_on_failure () =
+  let _, net = mk (Classic.ring 4) in
+  let s = Static.create net in
+  let r0 = Static.rib s 0 in
+  let next_to_1 () = Option.map snd (r0.Rib.next_hop (Addr.router 1)) in
+  Alcotest.(check (option int)) "direct" (Some 1) (next_to_1 ());
+  let notified = ref 0 in
+  r0.Rib.subscribe (fun () -> incr notified);
+  (* Kill the 0-1 link: the ring reroutes the long way. *)
+  Net.set_link_up net 0 false;
+  Alcotest.(check (option int)) "detour" (Some 3) (next_to_1 ());
+  Alcotest.(check (option int)) "detour distance" (Some 3) (r0.Rib.distance (Addr.router 1));
+  Alcotest.(check bool) "subscriber notified" true (!notified > 0)
+
+let test_static_node_failure () =
+  let _, net = mk (Classic.line 3) in
+  let s = Static.create net in
+  let r0 = Static.rib s 0 in
+  Net.set_node_up net 1 false;
+  Alcotest.(check bool) "unreachable through dead node" true (r0.Rib.next_hop (Addr.router 2) = None)
+
+let test_static_distance_matrix () =
+  let _, net = mk (Classic.line 3) in
+  let s = Static.create net in
+  let m = Static.distance_matrix s in
+  Alcotest.(check int) "0->2" 2 m.(0).(2);
+  Alcotest.(check int) "2->0" 2 m.(2).(0)
+
+(* Distance vector *)
+
+let fast_dv = { Dv.default_config with Dv.period = 5.; timeout = 30.; triggered_delay = 0.2 }
+
+let test_dv_converges_line () =
+  let eng, net = mk (Classic.line 4) in
+  let dv = Dv.create ~config:fast_dv net in
+  Engine.run ~until:30. eng;
+  let expected = Static.distance_matrix (Static.create net) in
+  Alcotest.(check bool) "converged to shortest paths" true (Dv.converged dv ~against:expected);
+  Alcotest.(check (option int)) "metric" (Some 3) (Dv.metric dv 0 3)
+
+let test_dv_converges_random () =
+  List.iter
+    (fun seed ->
+      let prng = Prng.create seed in
+      let topo = Pim_graph.Random_graph.generate ~prng ~nodes:20 ~degree:3. () in
+      let eng, net = (Engine.create (), ()) |> fun (e, ()) -> (e, Net.create e topo) in
+      let dv = Dv.create ~config:fast_dv net in
+      Engine.run ~until:60. eng;
+      let expected = Static.distance_matrix (Static.create net) in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d converged" seed)
+        true (Dv.converged dv ~against:expected))
+    [ 1; 2; 3 ]
+
+let test_dv_rib () =
+  let eng, net = mk (Classic.line 3) in
+  let dv = Dv.create ~config:fast_dv net in
+  Engine.run ~until:20. eng;
+  let r0 = Dv.rib dv 0 in
+  (match r0.Rib.next_hop (Addr.router 2) with
+  | Some (_, next) -> Alcotest.(check int) "next hop" 1 next
+  | None -> Alcotest.fail "route expected");
+  Alcotest.(check (option int)) "host distance" (Some 2) (r0.Rib.distance (Addr.host ~router:2 1))
+
+let test_dv_reconverges_after_failure () =
+  let eng, net = mk (Classic.ring 5) in
+  let dv = Dv.create ~config:fast_dv net in
+  Engine.run ~until:40. eng;
+  (* Fail the 0-1 link; distances must re-converge to the detour. *)
+  Net.set_link_up net 0 false;
+  Engine.run ~until:120. eng;
+  Alcotest.(check (option int)) "detour metric" (Some 4) (Dv.metric dv 0 1)
+
+let test_dv_messages_counted () =
+  let eng, net = mk (Classic.line 3) in
+  let dv = Dv.create ~config:fast_dv net in
+  Engine.run ~until:20. eng;
+  Alcotest.(check bool) "advertisements happened" true (Dv.message_count dv > 0)
+
+(* Link state *)
+
+let fast_ls = { Ls.refresh_period = 30.; spf_delay = 0.2 }
+
+let test_ls_converges_line () =
+  let eng, net = mk (Classic.line 4) in
+  let ls = Ls.create ~config:fast_ls net in
+  Engine.run ~until:20. eng;
+  let expected = Static.distance_matrix (Static.create net) in
+  Alcotest.(check bool) "converged" true (Ls.converged ls ~against:expected);
+  Alcotest.(check (option int)) "distance" (Some 3) (Ls.distance ls 0 3)
+
+let test_ls_converges_random () =
+  List.iter
+    (fun seed ->
+      let prng = Prng.create seed in
+      let topo = Pim_graph.Random_graph.generate ~prng ~nodes:20 ~degree:3. () in
+      let eng = Engine.create () in
+      let net = Net.create eng topo in
+      let ls = Ls.create ~config:fast_ls net in
+      Engine.run ~until:30. eng;
+      let expected = Static.distance_matrix (Static.create net) in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d converged" seed)
+        true (Ls.converged ls ~against:expected))
+    [ 4; 5; 6 ]
+
+let test_ls_rib_and_counters () =
+  let eng, net = mk (Classic.ring 4) in
+  let ls = Ls.create ~config:fast_ls net in
+  Engine.run ~until:20. eng;
+  let r0 = Ls.rib ls 0 in
+  (match r0.Rib.next_hop (Addr.router 1) with
+  | Some (_, next) -> Alcotest.(check int) "direct" 1 next
+  | None -> Alcotest.fail "route expected");
+  Alcotest.(check bool) "lsas flooded" true (Ls.lsa_count ls > 0);
+  Alcotest.(check bool) "spf ran" true (Ls.spf_runs ls > 0)
+
+let test_ls_reconverges_after_link_failure () =
+  let eng, net = mk (Classic.ring 4) in
+  let ls = Ls.create ~config:fast_ls net in
+  Engine.run ~until:20. eng;
+  Net.set_link_up net 0 false;
+  Engine.run ~until:40. eng;
+  Alcotest.(check (option int)) "detour" (Some 3) (Ls.distance ls 0 1)
+
+let test_ls_crashed_node_disappears () =
+  let eng, net = mk (Classic.line 3) in
+  let ls = Ls.create ~config:fast_ls net in
+  Engine.run ~until:20. eng;
+  (* Node 1 crashes without re-originating; the bidirectionality check at
+     its neighbors removes it anyway. *)
+  Net.set_node_up net 1 false;
+  Engine.run ~until:40. eng;
+  Alcotest.(check (option int)) "unreachable" None (Ls.distance ls 0 2)
+
+(* Property: after arbitrary (non-disconnecting) link failures, both
+   dynamic substrates re-converge to the oracle's shortest paths. *)
+let prop_substrates_converge_after_failures =
+  QCheck.Test.make ~name:"DV and LS re-converge after random link failures" ~count:8
+    QCheck.(pair (int_range 0 10000) (int_range 1 3))
+    (fun (seed, kills) ->
+      let prng = Prng.create seed in
+      let topo = Pim_graph.Random_graph.generate ~prng ~nodes:15 ~degree:4. () in
+      let check make converge_time =
+        let eng = Engine.create () in
+        let net = Net.create eng topo in
+        let sub_converged = make net in
+        Engine.run ~until:60. eng;
+        (* Kill up to [kills] links, skipping any that would disconnect. *)
+        let killed = ref 0 in
+        let n_links = Topology.n_links topo in
+        let tries = ref 0 in
+        while !killed < kills && !tries < 20 do
+          incr tries;
+          let lid = Prng.int prng n_links in
+          if Net.link_up net lid then begin
+            Net.set_link_up net lid false;
+            let oracle = Static.create net in
+            let m = Static.distance_matrix oracle in
+            if Array.exists (fun row -> Array.exists (fun d -> d = max_int) row) m then
+              Net.set_link_up net lid true (* would disconnect: revert *)
+            else incr killed
+          end
+        done;
+        Engine.run ~until:(60. +. converge_time) eng;
+        let expected = Static.distance_matrix (Static.create net) in
+        sub_converged ~against:expected
+      in
+      check
+        (fun net ->
+          let dv = Dv.create ~config:fast_dv net in
+          fun ~against -> Dv.converged dv ~against)
+        120.
+      && check
+           (fun net ->
+             let ls = Ls.create ~config:fast_ls net in
+             fun ~against -> Ls.converged ls ~against)
+           30.)
+
+let () =
+  Alcotest.run "pim_routing"
+    [
+      ("rib", [ Alcotest.test_case "resolve" `Quick test_rib_resolve ]);
+      ( "static",
+        [
+          Alcotest.test_case "line" `Quick test_static_line;
+          Alcotest.test_case "host routes" `Quick test_static_host_routes;
+          Alcotest.test_case "reroute on failure" `Quick test_static_reroute_on_failure;
+          Alcotest.test_case "node failure" `Quick test_static_node_failure;
+          Alcotest.test_case "distance matrix" `Quick test_static_distance_matrix;
+        ] );
+      ( "distance-vector",
+        [
+          Alcotest.test_case "converges on line" `Quick test_dv_converges_line;
+          Alcotest.test_case "converges on random graphs" `Slow test_dv_converges_random;
+          Alcotest.test_case "rib view" `Quick test_dv_rib;
+          Alcotest.test_case "reconverges after failure" `Quick test_dv_reconverges_after_failure;
+          Alcotest.test_case "message counting" `Quick test_dv_messages_counted;
+        ] );
+      ( "link-state",
+        [
+          Alcotest.test_case "converges on line" `Quick test_ls_converges_line;
+          Alcotest.test_case "converges on random graphs" `Slow test_ls_converges_random;
+          Alcotest.test_case "rib and counters" `Quick test_ls_rib_and_counters;
+          Alcotest.test_case "reconverges after link failure" `Quick
+            test_ls_reconverges_after_link_failure;
+          Alcotest.test_case "crashed node disappears" `Quick test_ls_crashed_node_disappears;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_substrates_converge_after_failures ]);
+    ]

@@ -1,0 +1,344 @@
+(* Tests for Pim_sim: event engine, network delivery, trace. *)
+
+module Engine = Pim_sim.Engine
+module Net = Pim_sim.Net
+module Trace = Pim_sim.Trace
+module Topology = Pim_graph.Topology
+module Packet = Pim_net.Packet
+module Addr = Pim_net.Addr
+
+(* Engine *)
+
+let test_engine_order () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule eng ~after:3. (fun () -> log := 3 :: !log));
+  ignore (Engine.schedule eng ~after:1. (fun () -> log := 1 :: !log));
+  ignore (Engine.schedule eng ~after:2. (fun () -> log := 2 :: !log));
+  Engine.run eng;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock at last event" 3. (Engine.now eng)
+
+let test_engine_fifo_ties () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule eng ~after:1. (fun () -> log := i :: !log))
+  done;
+  Engine.run eng;
+  Alcotest.(check (list int)) "schedule order on ties" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_nested_schedule () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule eng ~after:1. (fun () ->
+         log := "a" :: !log;
+         ignore (Engine.schedule eng ~after:1. (fun () -> log := "b" :: !log))));
+  Engine.run eng;
+  Alcotest.(check (list string)) "nested" [ "a"; "b" ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "time" 2. (Engine.now eng)
+
+let test_engine_cancel () =
+  let eng = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule eng ~after:1. (fun () -> fired := true) in
+  Engine.cancel h;
+  Engine.run eng;
+  Alcotest.(check bool) "cancelled" false !fired
+
+let test_engine_until () =
+  let eng = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.schedule eng ~after:1. (fun () -> incr fired));
+  ignore (Engine.schedule eng ~after:5. (fun () -> incr fired));
+  Engine.run ~until:3. eng;
+  Alcotest.(check int) "only first" 1 !fired;
+  Alcotest.(check (float 1e-9)) "clock set to until" 3. (Engine.now eng);
+  Engine.run eng;
+  Alcotest.(check int) "second fires later" 2 !fired
+
+let test_engine_every () =
+  let eng = Engine.create () in
+  let count = ref 0 in
+  let h = Engine.every eng ~interval:1. (fun () -> incr count) in
+  Engine.run ~until:5.5 eng;
+  Alcotest.(check int) "five ticks" 5 !count;
+  Engine.cancel h;
+  Engine.run ~until:10. eng;
+  Alcotest.(check int) "stopped" 5 !count
+
+let test_engine_every_start () =
+  let eng = Engine.create () in
+  let times = ref [] in
+  let h = Engine.every eng ~start:0.5 ~interval:2. (fun () -> times := Engine.now eng :: !times) in
+  Engine.run ~until:5. eng;
+  Engine.cancel h;
+  Alcotest.(check (list (float 1e-9))) "start then interval" [ 0.5; 2.5; 4.5 ] (List.rev !times)
+
+let test_engine_every_self_cancel () =
+  let eng = Engine.create () in
+  let count = ref 0 in
+  let h = ref None in
+  h :=
+    Some
+      (Engine.every eng ~interval:1. (fun () ->
+           incr count;
+           if !count = 3 then Option.iter Engine.cancel !h));
+  Engine.run ~until:10. eng;
+  Alcotest.(check int) "self cancel" 3 !count
+
+let test_engine_rejects_negative () =
+  let eng = Engine.create () in
+  Alcotest.check_raises "negative delay" (Invalid_argument "Engine.schedule: negative delay")
+    (fun () -> ignore (Engine.schedule eng ~after:(-1.) (fun () -> ())));
+  Alcotest.check_raises "past" (Invalid_argument "Engine.schedule_at: time in the past")
+    (fun () ->
+      ignore (Engine.schedule eng ~after:0. (fun () -> ()));
+      Engine.run eng;
+      ignore (Engine.schedule_at eng (-5.) (fun () -> ())))
+
+(* Net *)
+
+let raw = Packet.Raw "payload"
+
+let mk_line () =
+  let topo = Pim_graph.Classic.line 3 in
+  let eng = Engine.create () in
+  let net = Net.create eng topo in
+  (eng, net)
+
+let test_net_p2p_delivery () =
+  let eng, net = mk_line () in
+  let got = ref [] in
+  Net.set_handler net 1 (fun ~iface pkt -> got := (iface, pkt.Packet.src) :: !got);
+  let pkt = Packet.unicast ~src:(Addr.router 0) ~dst:(Addr.router 1) ~size:10 raw in
+  Net.send net 0 ~iface:0 pkt;
+  Engine.run eng;
+  (match !got with
+  | [ (iface, src) ] ->
+    Alcotest.(check int) "arrives on iface 0" 0 iface;
+    Alcotest.(check bool) "src" true (Addr.equal src (Addr.router 0))
+  | _ -> Alcotest.fail "expected exactly one delivery");
+  Alcotest.(check (float 1e-9)) "propagation delay" 1. (Engine.now eng)
+
+let test_net_no_echo_to_sender () =
+  let eng, net = mk_line () in
+  let got = ref 0 in
+  Net.set_handler net 0 (fun ~iface:_ _ -> incr got);
+  Net.set_handler net 1 (fun ~iface:_ _ -> ());
+  Net.send net 0 ~iface:0 (Packet.unicast ~src:(Addr.router 0) ~dst:(Addr.router 1) ~size:1 raw);
+  Engine.run eng;
+  Alcotest.(check int) "sender does not hear itself" 0 !got
+
+let mk_lan () =
+  let b = Topology.builder 3 in
+  let lan = Topology.add_lan b [ 0; 1; 2 ] in
+  let topo = Topology.freeze b in
+  let eng = Engine.create () in
+  (eng, Net.create eng topo, lan)
+
+let test_net_lan_broadcast () =
+  let eng, net, _ = mk_lan () in
+  let got = Array.make 3 0 in
+  for u = 0 to 2 do
+    Net.set_handler net u (fun ~iface:_ _ -> got.(u) <- got.(u) + 1)
+  done;
+  Net.send net 0 ~iface:0 (Packet.unicast ~src:(Addr.router 0) ~dst:Addr.all_pim_routers ~size:1 raw);
+  Engine.run eng;
+  Alcotest.(check (array int)) "all others hear once" [| 0; 1; 1 |] got
+
+let test_net_lan_targeted () =
+  let eng, net, _ = mk_lan () in
+  let got = Array.make 3 0 in
+  for u = 0 to 2 do
+    Net.set_handler net u (fun ~iface:_ _ -> got.(u) <- got.(u) + 1)
+  done;
+  Net.send net 0 ~iface:0 ~to_node:2
+    (Packet.unicast ~src:(Addr.router 0) ~dst:(Addr.router 2) ~size:1 raw);
+  Engine.run eng;
+  Alcotest.(check (array int)) "only target" [| 0; 0; 1 |] got
+
+let test_net_link_down () =
+  let eng, net = mk_line () in
+  let got = ref 0 in
+  Net.set_handler net 1 (fun ~iface:_ _ -> incr got);
+  Net.set_link_up net 0 false;
+  Net.send net 0 ~iface:0 (Packet.unicast ~src:(Addr.router 0) ~dst:(Addr.router 1) ~size:1 raw);
+  Engine.run eng;
+  Alcotest.(check int) "dropped on down link" 0 !got;
+  Net.set_link_up net 0 true;
+  Net.send net 0 ~iface:0 (Packet.unicast ~src:(Addr.router 0) ~dst:(Addr.router 1) ~size:1 raw);
+  Engine.run eng;
+  Alcotest.(check int) "delivered after repair" 1 !got
+
+let test_net_link_down_in_flight () =
+  let eng, net = mk_line () in
+  let got = ref 0 in
+  Net.set_handler net 1 (fun ~iface:_ _ -> incr got);
+  Net.send net 0 ~iface:0 (Packet.unicast ~src:(Addr.router 0) ~dst:(Addr.router 1) ~size:1 raw);
+  (* The link dies while the packet is on the wire. *)
+  ignore (Engine.schedule eng ~after:0.5 (fun () -> Net.set_link_up net 0 false));
+  Engine.run eng;
+  Alcotest.(check int) "in-flight packet lost" 0 !got
+
+let test_net_node_down () =
+  let eng, net = mk_line () in
+  let got = ref 0 in
+  Net.set_handler net 1 (fun ~iface:_ _ -> incr got);
+  Net.set_node_up net 1 false;
+  Net.send net 0 ~iface:0 (Packet.unicast ~src:(Addr.router 0) ~dst:(Addr.router 1) ~size:1 raw);
+  Engine.run eng;
+  Alcotest.(check int) "down node receives nothing" 0 !got;
+  Net.set_node_up net 0 false;
+  Net.send net 0 ~iface:0 (Packet.unicast ~src:(Addr.router 0) ~dst:(Addr.router 1) ~size:1 raw);
+  Engine.run eng;
+  Alcotest.(check int) "down node sends nothing" 0 !got
+
+let test_net_link_change_notify () =
+  let _, net = mk_line () in
+  let events = ref [] in
+  Net.on_link_change net (fun lid up -> events := (lid, up) :: !events);
+  Net.set_link_up net 1 false;
+  Net.set_link_up net 1 false;
+  (* idempotent: no second event *)
+  Net.set_link_up net 1 true;
+  Alcotest.(check (list (pair int bool))) "events" [ (1, false); (1, true) ] (List.rev !events)
+
+let test_net_node_change_notifies_links () =
+  let _, net = mk_line () in
+  let events = ref [] in
+  Net.on_link_change net (fun lid up -> events := (lid, up) :: !events);
+  Net.set_node_up net 1 false;
+  (* node 1 is on both links of the line *)
+  Alcotest.(check int) "both links flap" 2 (List.length !events)
+
+let test_net_hosts () =
+  let b = Topology.builder 2 in
+  ignore (Topology.add_p2p b 0 1);
+  let stub = Topology.add_lan b [ 0 ] in
+  let topo = Topology.freeze b in
+  let eng = Engine.create () in
+  let net = Net.create eng topo in
+  let host_got = ref 0 and router_got = ref 0 in
+  let h1 = Net.attach_host net stub ~addr:(Addr.host ~router:0 1) (fun _ -> incr host_got) in
+  let _h2 = Net.attach_host net stub ~addr:(Addr.host ~router:0 2) (fun _ -> incr host_got) in
+  Net.set_handler net 0 (fun ~iface:_ _ -> incr router_got);
+  (* Host broadcast reaches the router and the other host, not itself. *)
+  Net.host_send net h1
+    (Packet.unicast ~src:(Addr.host ~router:0 1) ~dst:Addr.all_pim_routers ~size:1 raw);
+  Engine.run eng;
+  Alcotest.(check int) "router heard" 1 !router_got;
+  Alcotest.(check int) "other host heard, sender not" 1 !host_got;
+  (* Router broadcast on the stub reaches both hosts. *)
+  Net.send net 0 ~iface:(Topology.iface_of_link topo 0 stub)
+    (Packet.unicast ~src:(Addr.router 0) ~dst:Addr.all_pim_routers ~size:1 raw);
+  Engine.run eng;
+  Alcotest.(check int) "both hosts heard" 3 !host_got
+
+let test_net_traversals () =
+  let eng, net = mk_line () in
+  Net.set_handler net 1 (fun ~iface:_ _ -> ());
+  let observed = ref 0 in
+  Net.on_deliver net (fun _ _ -> incr observed);
+  for _ = 1 to 4 do
+    Net.send net 0 ~iface:0 (Packet.unicast ~src:(Addr.router 0) ~dst:(Addr.router 1) ~size:1 raw)
+  done;
+  Engine.run eng;
+  Alcotest.(check int) "per-link count" 4 (Net.traversals net 0);
+  Alcotest.(check int) "other link untouched" 0 (Net.traversals net 1);
+  Alcotest.(check int) "total" 4 (Net.total_traversals net);
+  Alcotest.(check int) "observer" 4 !observed
+
+let test_net_loss () =
+  let eng, net = mk_line () in
+  let got = ref 0 in
+  Net.set_handler net 1 (fun ~iface:_ _ -> incr got);
+  Net.set_loss_rate net ~prng:(Pim_util.Prng.create 3) 0.5;
+  for _ = 1 to 200 do
+    Net.send net 0 ~iface:0 (Packet.unicast ~src:(Addr.router 0) ~dst:(Addr.router 1) ~size:1 raw)
+  done;
+  Engine.run eng;
+  Alcotest.(check int) "accounted" 200 (!got + Net.dropped net);
+  Alcotest.(check bool)
+    (Printf.sprintf "roughly half dropped (%d)" (Net.dropped net))
+    true
+    (Net.dropped net > 60 && Net.dropped net < 140);
+  Alcotest.check_raises "rate validated" (Invalid_argument "Net.set_loss_rate: rate must be in [0, 1)")
+    (fun () -> Net.set_loss_rate net 1.0)
+
+let test_net_loss_filter () =
+  let eng, net = mk_line () in
+  let got = ref 0 in
+  Net.set_handler net 1 (fun ~iface:_ _ -> incr got);
+  (* Filter matches nothing: lossless despite rate 0.9. *)
+  Net.set_loss_rate net ~filter:(fun _ -> false) 0.9;
+  for _ = 1 to 50 do
+    Net.send net 0 ~iface:0 (Packet.unicast ~src:(Addr.router 0) ~dst:(Addr.router 1) ~size:1 raw)
+  done;
+  Engine.run eng;
+  Alcotest.(check int) "filter exempts" 50 !got
+
+(* Trace *)
+
+let test_trace () =
+  let eng = Engine.create () in
+  let trace = Trace.create eng in
+  Trace.log trace ~node:1 ~tag:"a" "one";
+  ignore (Engine.schedule eng ~after:2. (fun () -> Trace.logf trace ~node:2 ~tag:"b" "%d" 42));
+  Engine.run eng;
+  Alcotest.(check int) "count a" 1 (Trace.count trace ~tag:"a");
+  (match Trace.find trace ~tag:"b" with
+  | [ r ] ->
+    Alcotest.(check (float 1e-9)) "timestamped" 2. r.Trace.time;
+    Alcotest.(check string) "formatted" "42" r.Trace.detail
+  | _ -> Alcotest.fail "expected one b record");
+  Trace.clear trace;
+  Alcotest.(check int) "cleared" 0 (List.length (Trace.records trace))
+
+let test_trace_disabled () =
+  let eng = Engine.create () in
+  let trace = Trace.create ~enabled:false eng in
+  Trace.log trace ~node:1 ~tag:"a" "one";
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Trace.records trace));
+  Trace.enable trace true;
+  Trace.log trace ~node:1 ~tag:"a" "two";
+  Alcotest.(check int) "recording resumes" 1 (List.length (Trace.records trace))
+
+let () =
+  Alcotest.run "pim_sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "time order" `Quick test_engine_order;
+          Alcotest.test_case "fifo ties" `Quick test_engine_fifo_ties;
+          Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "until" `Quick test_engine_until;
+          Alcotest.test_case "every" `Quick test_engine_every;
+          Alcotest.test_case "every with start" `Quick test_engine_every_start;
+          Alcotest.test_case "every self-cancel" `Quick test_engine_every_self_cancel;
+          Alcotest.test_case "rejects negative times" `Quick test_engine_rejects_negative;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "p2p delivery" `Quick test_net_p2p_delivery;
+          Alcotest.test_case "no echo to sender" `Quick test_net_no_echo_to_sender;
+          Alcotest.test_case "lan broadcast" `Quick test_net_lan_broadcast;
+          Alcotest.test_case "lan targeted frame" `Quick test_net_lan_targeted;
+          Alcotest.test_case "link down" `Quick test_net_link_down;
+          Alcotest.test_case "link down in flight" `Quick test_net_link_down_in_flight;
+          Alcotest.test_case "node down" `Quick test_net_node_down;
+          Alcotest.test_case "link change notify" `Quick test_net_link_change_notify;
+          Alcotest.test_case "node change notifies links" `Quick test_net_node_change_notifies_links;
+          Alcotest.test_case "hosts" `Quick test_net_hosts;
+          Alcotest.test_case "traversal counting" `Quick test_net_traversals;
+          Alcotest.test_case "loss injection" `Quick test_net_loss;
+          Alcotest.test_case "loss filter" `Quick test_net_loss_filter;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "basic" `Quick test_trace;
+          Alcotest.test_case "disabled" `Quick test_trace_disabled;
+        ] );
+    ]

@@ -1,0 +1,227 @@
+(* Unit and property tests for Pim_util: PRNG, heap, statistics. *)
+
+module Prng = Pim_util.Prng
+module Heap = Pim_util.Heap
+module Stats = Pim_util.Stats
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let xs = List.init 10 (fun _ -> Prng.bits64 a) in
+  let ys = List.init 10 (fun _ -> Prng.bits64 b) in
+  Alcotest.(check bool) "different streams" true (xs <> ys)
+
+let test_prng_copy () =
+  let a = Prng.create 7 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.bits64 a) (Prng.bits64 b)
+
+let test_prng_split_independent () =
+  let a = Prng.create 7 in
+  let b = Prng.split a in
+  let xs = List.init 20 (fun _ -> Prng.bits64 a) in
+  let ys = List.init 20 (fun _ -> Prng.bits64 b) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_int_bounds () =
+  let t = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int t 7 in
+    Alcotest.(check bool) "in [0,7)" true (v >= 0 && v < 7)
+  done
+
+let test_int_covers_range () =
+  let t = Prng.create 5 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Prng.int t 5) <- true
+  done;
+  Alcotest.(check bool) "all values drawn" true (Array.for_all Fun.id seen)
+
+let test_int_in () =
+  let t = Prng.create 11 in
+  for _ = 1 to 200 do
+    let v = Prng.int_in t (-3) 4 in
+    Alcotest.(check bool) "in [-3,4]" true (v >= -3 && v <= 4)
+  done
+
+let test_float_bounds () =
+  let t = Prng.create 13 in
+  for _ = 1 to 1000 do
+    let v = Prng.float t 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (v >= 0. && v < 2.5)
+  done
+
+let test_sample () =
+  let t = Prng.create 17 in
+  for _ = 1 to 50 do
+    let s = Prng.sample t 10 30 in
+    Alcotest.(check int) "size" 10 (List.length s);
+    Alcotest.(check int) "distinct" 10 (List.length (List.sort_uniq Int.compare s));
+    List.iter (fun v -> Alcotest.(check bool) "in range" true (v >= 0 && v < 30)) s
+  done
+
+let test_sample_full () =
+  let t = Prng.create 19 in
+  let s = Prng.sample t 5 5 in
+  Alcotest.(check (list int)) "whole range" [ 0; 1; 2; 3; 4 ] s
+
+let test_sample_empty () =
+  let t = Prng.create 19 in
+  Alcotest.(check (list int)) "empty" [] (Prng.sample t 0 10)
+
+let test_shuffle_is_permutation () =
+  let t = Prng.create 23 in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle t arr;
+  let sorted = Array.copy arr in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_exponential_positive () =
+  let t = Prng.create 29 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "positive" true (Prng.exponential t 5. >= 0.)
+  done
+
+let test_exponential_mean () =
+  let t = Prng.create 31 in
+  let n = 20000 in
+  let total = ref 0. in
+  for _ = 1 to n do
+    total := !total +. Prng.exponential t 4.
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool) "mean near 4" true (mean > 3.6 && mean < 4.4)
+
+(* Heap *)
+
+let test_heap_basic () =
+  let h = Heap.create ~cmp:Int.compare in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  List.iter (Heap.push h) [ 5; 1; 4; 2; 3 ];
+  Alcotest.(check int) "length" 5 (Heap.length h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Heap.peek h);
+  Alcotest.(check (list int)) "sorted drain" [ 1; 2; 3; 4; 5 ] (Heap.to_sorted_list h);
+  Alcotest.(check bool) "drained" true (Heap.is_empty h)
+
+let test_heap_duplicates () =
+  let h = Heap.create ~cmp:Int.compare in
+  List.iter (Heap.push h) [ 2; 2; 1; 1; 3 ];
+  Alcotest.(check (list int)) "dups kept" [ 1; 1; 2; 2; 3 ] (Heap.to_sorted_list h)
+
+let test_heap_pop_empty () =
+  let h = Heap.create ~cmp:Int.compare in
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop h)
+
+let test_heap_clear () =
+  let h = Heap.create ~cmp:Int.compare in
+  List.iter (Heap.push h) [ 1; 2; 3 ];
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h);
+  Heap.push h 9;
+  Alcotest.(check (option int)) "usable after clear" (Some 9) (Heap.pop h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:Int.compare in
+      List.iter (Heap.push h) xs;
+      Heap.to_sorted_list h = List.sort Int.compare xs)
+
+let prop_heap_interleaved =
+  QCheck.Test.make ~name:"heap min under interleaved push/pop" ~count:200
+    QCheck.(list (pair bool small_int))
+    (fun ops ->
+      let h = Heap.create ~cmp:Int.compare in
+      let model = ref [] in
+      List.for_all
+        (fun (is_push, v) ->
+          if is_push then begin
+            Heap.push h v;
+            model := List.sort Int.compare (v :: !model);
+            true
+          end
+          else
+            match (Heap.pop h, !model) with
+            | None, [] -> true
+            | Some x, m :: rest ->
+              model := rest;
+              x = m
+            | _ -> false)
+        ops)
+
+(* Stats *)
+
+let feq = Alcotest.float 1e-9
+
+let test_stats_mean () =
+  Alcotest.check feq "mean" 2. (Stats.mean [ 1.; 2.; 3. ]);
+  Alcotest.check feq "empty" 0. (Stats.mean [])
+
+let test_stats_stddev () =
+  Alcotest.check feq "stddev" 1. (Stats.stddev [ 1.; 2.; 3. ]);
+  Alcotest.check feq "singleton" 0. (Stats.stddev [ 5. ])
+
+let test_stats_minmax () =
+  Alcotest.check feq "min" 1. (Stats.minimum [ 3.; 1.; 2. ]);
+  Alcotest.check feq "max" 3. (Stats.maximum [ 3.; 1.; 2. ])
+
+let test_stats_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.check feq "p50" 50. (Stats.percentile 50. xs);
+  Alcotest.check feq "p95" 95. (Stats.percentile 95. xs);
+  Alcotest.check feq "p100" 100. (Stats.percentile 100. xs)
+
+let test_stats_summary () =
+  let s = Stats.summarize [ 1.; 2.; 3.; 4. ] in
+  Alcotest.(check int) "n" 4 s.Stats.n;
+  Alcotest.check feq "mean" 2.5 s.Stats.mean;
+  Alcotest.check feq "min" 1. s.Stats.min;
+  Alcotest.check feq "max" 4. s.Stats.max
+
+let () =
+  Alcotest.run "pim_util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_prng_copy;
+          Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int covers range" `Quick test_int_covers_range;
+          Alcotest.test_case "int_in bounds" `Quick test_int_in;
+          Alcotest.test_case "float bounds" `Quick test_float_bounds;
+          Alcotest.test_case "sample distinct" `Quick test_sample;
+          Alcotest.test_case "sample full range" `Quick test_sample_full;
+          Alcotest.test_case "sample empty" `Quick test_sample_empty;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+          Alcotest.test_case "exponential positive" `Quick test_exponential_positive;
+          Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "basic" `Quick test_heap_basic;
+          Alcotest.test_case "duplicates" `Quick test_heap_duplicates;
+          Alcotest.test_case "pop empty" `Quick test_heap_pop_empty;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+          QCheck_alcotest.to_alcotest prop_heap_sorts;
+          QCheck_alcotest.to_alcotest prop_heap_interleaved;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "min/max" `Quick test_stats_minmax;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+        ] );
+    ]
