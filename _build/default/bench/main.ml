@@ -1,6 +1,6 @@
 (* Benchmark harness.
 
-   Two halves:
+   Three halves:
 
    1. Regeneration: prints the rows/series of every figure and experiment
       indexed in DESIGN.md (Figure 2a, Figure 2b, Figure 1, E1-E4), at
@@ -11,7 +11,14 @@
    2. Timing: one Bechamel micro/meso-benchmark per experiment id —
       fig2a and fig2b single trials, the Figure 1 simulation, one
       overhead point — plus micro-benchmarks of the underlying machinery
-      (Dijkstra, event queue, FIB matching, join processing). *)
+      (Dijkstra, event queue, FIB matching, join processing).
+
+   3. `--json [PATH]`: a machine-readable baseline.  Runs the Figure 2
+      hot-path subjects plus the substrate micro-benchmarks with a plain
+      wall-clock/GC harness and writes per-benchmark wall time and
+      allocation figures as JSON (default PATH: BENCH_fig2.json).  Later
+      scaling PRs diff their numbers against the committed baseline; see
+      EXPERIMENTS.md. *)
 
 open Bechamel
 open Toolkit
@@ -247,6 +254,140 @@ let run_benchmarks () =
       | _ -> Format.printf "  %-28s %16s@." name "n/a")
     rows
 
+(* {1 JSON baseline mode}
+
+   Bechamel's OLS estimates are great interactively but awkward to diff, so
+   the JSON mode uses a deliberately simple harness: warm up, pick a
+   repetition count from one calibration run, then measure wall clock and
+   GC counters around the whole batch. *)
+
+type json_result = {
+  jname : string;
+  runs : int;
+  wall_ns_per_run : float;
+  alloc_bytes_per_run : float;
+  minor_words_per_run : float;
+  promoted_words_per_run : float;
+}
+
+let measure_subject (name, f) =
+  f ();
+  (* Calibrate the repetition count for ~0.5 s of measurement. *)
+  let c0 = Unix.gettimeofday () in
+  f ();
+  let once = Unix.gettimeofday () -. c0 in
+  let runs = max 3 (min 2000 (int_of_float (0.5 /. Float.max once 1e-6))) in
+  Gc.full_major ();
+  let a0 = Gc.allocated_bytes () in
+  let s0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to runs do
+    f ()
+  done;
+  let t1 = Unix.gettimeofday () in
+  let s1 = Gc.quick_stat () in
+  let a1 = Gc.allocated_bytes () in
+  let per x = x /. float_of_int runs in
+  {
+    jname = name;
+    runs;
+    wall_ns_per_run = per ((t1 -. t0) *. 1e9);
+    alloc_bytes_per_run = per (a1 -. a0);
+    minor_words_per_run = per (s1.Gc.minor_words -. s0.Gc.minor_words);
+    promoted_words_per_run = per (s1.Gc.promoted_words -. s0.Gc.promoted_words);
+  }
+
+let json_subjects () =
+  let trial_prng = Pim_util.Prng.create seed in
+  let fig2a_trial () =
+    let topo = Pim_graph.Random_graph.generate ~prng:trial_prng ~nodes:50 ~degree:4. () in
+    let members = Pim_graph.Random_graph.pick_members ~prng:trial_prng ~nodes:50 ~count:10 in
+    let apsp = Pim_graph.Spt.all_pairs topo in
+    let spt = Pim_graph.Center.spt_max_delay apsp ~senders:members ~receivers:members in
+    let _, cbt = Pim_graph.Center.optimal apsp ~senders:members ~receivers:members in
+    ignore (Sys.opaque_identity (spt, cbt))
+  in
+  let fig2b_network () =
+    (* One network at full paper scale: 300 groups x 40 members x 32
+       senders, degree 4. *)
+    ignore (Sys.opaque_identity (Pim_exp.Fig2b.run ~trials:1 ~degrees:[ 4. ] ~seed ()))
+  in
+  let fig2a_degree_sweep () =
+    ignore (Sys.opaque_identity (Pim_exp.Fig2a.run ~trials:20 ~seed ()))
+  in
+  let dijkstra () = ignore (Sys.opaque_identity (Pim_graph.Spt.single_source fixed_topo 0)) in
+  let scratch = Pim_graph.Spt.make_scratch ~n:50 in
+  let dijkstra_scratch () =
+    ignore (Sys.opaque_identity (Pim_graph.Spt.single_source_into scratch fixed_topo 0))
+  in
+  let all_pairs () = ignore (Sys.opaque_identity (Pim_graph.Spt.all_pairs fixed_topo)) in
+  let engine_events () =
+    let eng = Pim_sim.Engine.create () in
+    for i = 1 to 1000 do
+      ignore (Pim_sim.Engine.schedule eng ~after:(float_of_int (i mod 97)) (fun () -> ()))
+    done;
+    Pim_sim.Engine.run eng;
+    ignore (Sys.opaque_identity eng)
+  in
+  [
+    ("fig2a-trial", fig2a_trial);
+    ("fig2a-degree-sweep-20", fig2a_degree_sweep);
+    ("fig2b-network", fig2b_network);
+    ("dijkstra-50n", dijkstra);
+    ("dijkstra-50n-scratch", dijkstra_scratch);
+    ("all-pairs-50n", all_pairs);
+    ("engine-1k-events", engine_events);
+  ]
+
+let run_json path =
+  let results = List.map measure_subject (json_subjects ()) in
+  let json =
+    Pim_util.Json.(
+      Obj
+        [
+          ("schema", Str "pim-bench/1");
+          ("seed", Int seed);
+          ("ocaml", Str Sys.ocaml_version);
+          ("word_size", Int Sys.word_size);
+          ( "benchmarks",
+            Arr
+              (List.map
+                 (fun r ->
+                   Obj
+                     [
+                       ("name", Str r.jname);
+                       ("runs", Int r.runs);
+                       ("wall_ns_per_run", Float r.wall_ns_per_run);
+                       ("alloc_bytes_per_run", Float r.alloc_bytes_per_run);
+                       ("minor_words_per_run", Float r.minor_words_per_run);
+                       ("promoted_words_per_run", Float r.promoted_words_per_run);
+                     ])
+                 results) );
+        ])
+  in
+  Pim_util.Json.to_file path json;
+  Format.printf "# wrote %s@." path;
+  Format.printf "# %-28s %6s %14s %16s@." "benchmark" "runs" "time/run" "alloc/run";
+  List.iter
+    (fun r ->
+      let pretty ns =
+        if ns > 1e9 then Printf.sprintf "%8.3f  s" (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
+        else Printf.sprintf "%8.1f ns" ns
+      in
+      Format.printf "  %-28s %6d %14s %13.0f kB@." r.jname r.runs (pretty r.wall_ns_per_run)
+        (r.alloc_bytes_per_run /. 1024.))
+    results
+
 let () =
-  regenerate ();
-  run_benchmarks ()
+  match Array.to_list Sys.argv with
+  | _ :: "--json" :: rest ->
+    let path = match rest with p :: _ -> p | [] -> "BENCH_fig2.json" in
+    run_json path
+  | _ :: [] | [] ->
+    regenerate ();
+    run_benchmarks ()
+  | _ :: arg :: _ ->
+    prerr_endline ("usage: main.exe [--json [PATH]]  (unknown argument: " ^ arg ^ ")");
+    exit 2

@@ -7,6 +7,38 @@ let seed_arg =
   let doc = "PRNG seed (runs are fully deterministic per seed)." in
   Arg.(value & opt int 1994 & info [ "seed" ] ~doc)
 
+let json_arg =
+  let doc =
+    "Also write the rows plus wall-clock/allocation stats as JSON to $(docv) \
+     (same schema family as BENCH_fig2.json; see EXPERIMENTS.md)."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
+
+(* Run [f], and when [--json PATH] was given wrap its rows (serialized by
+   [row_to_json]) in a timing envelope and write them to PATH. *)
+let with_json_output ~experiment ~json ~params ~row_to_json f =
+  let t0 = Unix.gettimeofday () in
+  let a0 = Gc.allocated_bytes () in
+  let rows = f () in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let alloc = Gc.allocated_bytes () -. a0 in
+  Option.iter
+    (fun path ->
+      Pim_util.Json.(
+        to_file path
+          (Obj
+             [
+               ("schema", Str "pim-exp/1");
+               ("experiment", Str experiment);
+               ("params", Obj params);
+               ("wall_s", Float wall_s);
+               ("alloc_bytes", Float alloc);
+               ("rows", Arr (List.map row_to_json rows));
+             ]));
+      Format.eprintf "# wrote %s (%.3f s)@." path wall_s)
+    json;
+  rows
+
 let trials_arg default =
   let doc = "Random networks per node degree." in
   Arg.(value & opt int default & info [ "trials" ] ~doc)
@@ -16,8 +48,27 @@ let nodes_arg =
   Arg.(value & opt int 50 & info [ "nodes" ] ~doc)
 
 let fig2a_cmd =
-  let run seed trials nodes members =
-    let rows = Pim_exp.Fig2a.run ~nodes ~members ~trials ~seed () in
+  let run seed trials nodes members json =
+    let row_to_json (r : Pim_exp.Fig2a.row) =
+      Pim_util.Json.(
+        Obj
+          [
+            ("degree", Float r.degree);
+            ("mean_ratio", Float r.mean_ratio);
+            ("stddev", Float r.stddev);
+            ("min_ratio", Float r.min_ratio);
+            ("max_ratio", Float r.max_ratio);
+            ("trials", Int r.trials);
+          ])
+    in
+    let params =
+      Pim_util.Json.
+        [ ("seed", Int seed); ("trials", Int trials); ("nodes", Int nodes); ("members", Int members) ]
+    in
+    let rows =
+      with_json_output ~experiment:"fig2a" ~json ~params ~row_to_json (fun () ->
+          Pim_exp.Fig2a.run ~nodes ~members ~trials ~seed ())
+    in
     Format.printf "%a" Pim_exp.Fig2a.pp_rows rows
   in
   let members =
@@ -25,11 +76,37 @@ let fig2a_cmd =
   in
   Cmd.v
     (Cmd.info "fig2a" ~doc:"Figure 2(a): CBT/SPT maximum-delay ratio vs node degree.")
-    Term.(const run $ seed_arg $ trials_arg 500 $ nodes_arg $ members)
+    Term.(const run $ seed_arg $ trials_arg 500 $ nodes_arg $ members $ json_arg)
 
 let fig2b_cmd =
-  let run seed trials nodes groups members senders =
-    let rows = Pim_exp.Fig2b.run ~nodes ~groups ~members ~senders ~trials ~seed () in
+  let run seed trials nodes groups members senders json =
+    let row_to_json (r : Pim_exp.Fig2b.row) =
+      Pim_util.Json.(
+        Obj
+          [
+            ("degree", Float r.degree);
+            ("spt_max_flows", Float r.spt_max_flows);
+            ("cbt_max_flows", Float r.cbt_max_flows);
+            ("spt_stddev", Float r.spt_stddev);
+            ("cbt_stddev", Float r.cbt_stddev);
+            ("trials", Int r.trials);
+          ])
+    in
+    let params =
+      Pim_util.Json.
+        [
+          ("seed", Int seed);
+          ("trials", Int trials);
+          ("nodes", Int nodes);
+          ("groups", Int groups);
+          ("members", Int members);
+          ("senders", Int senders);
+        ]
+    in
+    let rows =
+      with_json_output ~experiment:"fig2b" ~json ~params ~row_to_json (fun () ->
+          Pim_exp.Fig2b.run ~nodes ~groups ~members ~senders ~trials ~seed ())
+    in
     Format.printf "%a" Pim_exp.Fig2b.pp_rows rows
   in
   let groups = Arg.(value & opt int 300 & info [ "groups" ] ~doc:"Active groups per network.") in
@@ -37,7 +114,7 @@ let fig2b_cmd =
   let senders = Arg.(value & opt int 32 & info [ "senders" ] ~doc:"Senders per group (subset of members).") in
   Cmd.v
     (Cmd.info "fig2b" ~doc:"Figure 2(b): maximum traffic flows on any link, SPT vs center-based tree.")
-    Term.(const run $ seed_arg $ trials_arg 30 $ nodes_arg $ groups $ members $ senders)
+    Term.(const run $ seed_arg $ trials_arg 30 $ nodes_arg $ groups $ members $ senders $ json_arg)
 
 let fig1_cmd =
   let run packets =

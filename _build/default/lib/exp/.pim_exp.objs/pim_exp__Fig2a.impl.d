@@ -1,1 +1,1 @@
-lib/exp/fig2a.ml: Format Fun List Pim_graph Pim_util
+lib/exp/fig2a.ml: Array Format Fun List Pim_graph Pim_util

@@ -1,1 +1,1 @@
-lib/exp/fig2b.ml: Array Format Hashtbl List Pim_graph Pim_util
+lib/exp/fig2b.ml: Array Either Format List Pim_graph Pim_util

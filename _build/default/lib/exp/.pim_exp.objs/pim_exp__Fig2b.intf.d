@@ -1,1 +1,1 @@
-lib/exp/fig2b.mli: Format
+lib/exp/fig2b.mli: Format Pim_graph

@@ -12,10 +12,13 @@ type row = {
   trials : int;
 }
 
-let trial prng ~nodes ~members ~degree =
+(* [scratch] and [apsp] are working storage reused across all trials of a
+   degree: one Dijkstra scratch and one n x n distance matrix, instead of
+   fresh arrays for every one of the 500 x 6 graphs. *)
+let trial prng ~scratch ~apsp ~nodes ~members ~degree =
   let topo = Random_graph.generate ~prng ~nodes ~degree () in
   let group = Random_graph.pick_members ~prng ~nodes ~count:members in
-  let apsp = Spt.all_pairs topo in
+  Spt.all_pairs_into scratch topo apsp;
   (* Members are both senders and receivers, as in the paper's setup. *)
   let spt = Center.spt_max_delay apsp ~senders:group ~receivers:group in
   let _core, cbt = Center.optimal apsp ~senders:group ~receivers:group in
@@ -24,11 +27,13 @@ let trial prng ~nodes ~members ~degree =
 let run ?(nodes = 50) ?(members = 10) ?(trials = 500) ?(degrees = [ 3.; 4.; 5.; 6.; 7.; 8. ])
     ~seed () =
   let prng = Prng.create seed in
+  let scratch = Spt.make_scratch ~n:nodes in
+  let apsp = Array.init nodes (fun _ -> Array.make nodes max_int) in
   List.map
     (fun degree ->
       let stream = Prng.split prng in
       let ratios =
-        List.init trials (fun _ -> trial stream ~nodes ~members ~degree)
+        List.init trials (fun _ -> trial stream ~scratch ~apsp ~nodes ~members ~degree)
         |> List.filter_map Fun.id
       in
       let s = Pim_util.Stats.summarize ratios in

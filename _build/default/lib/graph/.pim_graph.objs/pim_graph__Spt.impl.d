@@ -1,1 +1,1 @@
-lib/graph/spt.ml: Array Hashtbl Int List Pim_util Topology
+lib/graph/spt.ml: Array Hashtbl List Pim_util Printf Topology

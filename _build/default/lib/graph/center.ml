@@ -35,5 +35,5 @@ let optimal apsp ~senders ~receivers =
 
 let tree topo ~center ~members =
   let spt = Spt.single_source topo center in
-  let edges = Spt.tree_edges topo spt ~members in
+  let edges = Spt.tree_edges spt ~members in
   Tree.of_edges ~n:(Topology.n_nodes topo) edges

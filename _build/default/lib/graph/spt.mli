@@ -11,6 +11,17 @@ type tree = {
   via : Topology.link_id option array;  (** link used to reach the node from its parent *)
 }
 
+type scratch
+(** Reusable working storage for Dijkstra: the distance/parent/via arrays
+    and the indexed heap, allocated once and recycled across runs.  The
+    Figure 2 experiments run Dijkstra hundreds of thousands of times on
+    same-sized graphs; reusing a scratch removes all per-call allocation. *)
+
+val make_scratch : n:int -> scratch
+(** Scratch for topologies of exactly [n] nodes. *)
+
+val scratch_size : scratch -> int
+
 val single_source :
   ?usable:(Topology.node -> Topology.node -> Topology.link_id -> bool) ->
   Topology.t ->
@@ -18,7 +29,22 @@ val single_source :
   tree
 (** Dijkstra from [src].  Ties are broken toward smaller node ids, so the
     result is deterministic.  [usable u v lid] (default: always true) gates
-    each directed edge, letting callers exclude failed links or nodes. *)
+    each directed edge, letting callers exclude failed links or nodes.
+    Allocates a fresh result; see {!single_source_into} for the
+    allocation-free variant. *)
+
+val single_source_into :
+  ?usable:(Topology.node -> Topology.node -> Topology.link_id -> bool) ->
+  scratch ->
+  Topology.t ->
+  Topology.node ->
+  tree
+(** Same as {!single_source} but computes into [scratch] without allocating.
+    The returned tree {e aliases} the scratch arrays: it is valid only until
+    the next [single_source_into] (or {!all_pairs_into}) call on the same
+    scratch — copy [dist]/[parent]/[via] if you need them longer.
+    @raise Invalid_argument when the scratch size differs from
+    [Topology.n_nodes]. *)
 
 val distance : tree -> Topology.node -> int option
 (** [None] when unreachable. *)
@@ -32,7 +58,6 @@ val first_hop : Topology.t -> tree -> (Topology.node option array * Topology.ifa
     forwarding tables. *)
 
 val tree_edges :
-  Topology.t ->
   tree ->
   members:Topology.node list ->
   (Topology.node * Topology.node * Topology.link_id) list
@@ -43,3 +68,10 @@ val tree_edges :
 val all_pairs : Topology.t -> int array array
 (** [all_pairs t] gives the full distance matrix ([max_int] when
     unreachable). *)
+
+val all_pairs_into : scratch -> Topology.t -> int array array -> unit
+(** Fill a caller-provided [n x n] matrix with all-pairs distances, reusing
+    [scratch] for every source.  The matrix rows are owned by the caller
+    (they are written, not aliased), so the result survives further scratch
+    reuse.
+    @raise Invalid_argument on size mismatches. *)

@@ -130,7 +130,7 @@ let compute_plan t src_router g =
     List.init (Topology.n_nodes topo) Fun.id
     |> List.filter (fun u -> knows_member t u g)
   in
-  let edges = Spt.tree_edges topo tree ~members in
+  let edges = Spt.tree_edges tree ~members in
   let olist =
     List.filter_map
       (fun (p, _, lid) ->

@@ -1,0 +1,1 @@
+lib/util/indexed_heap.mli:

@@ -1,0 +1,1 @@
+lib/util/json.ml: Buffer Char Float Fun List Printf String

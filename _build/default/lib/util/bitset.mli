@@ -1,0 +1,41 @@
+(** Fixed-capacity set of small integers, packed one bit per element.
+
+    Built for the experiment hot loops: membership marks, on-tree marks and
+    visited sets that are allocated once and then cleared and refilled for
+    every group of every trial, instead of allocating a [Hashtbl] each time.
+    All operations besides {!clear}, {!cardinal}, {!iter} and {!is_empty} are
+    O(1). *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over the universe [0 .. n-1].
+    @raise Invalid_argument if [n < 0]. *)
+
+val length : t -> int
+(** Size of the universe (the [n] given to {!create}), not the cardinality. *)
+
+val mem : t -> int -> bool
+
+val add : t -> int -> unit
+
+val remove : t -> int -> unit
+
+val clear : t -> unit
+(** Remove every element.  O(n / word size) — cheap enough to call once per
+    group in the Figure 2(b) inner loop. *)
+
+val cardinal : t -> int
+
+val is_empty : t -> bool
+
+val iter : (int -> unit) -> t -> unit
+(** Elements in increasing order. *)
+
+val add_list : t -> int list -> unit
+
+val of_list : int -> int list -> t
+(** [of_list n elements] — universe size [n]. *)
+
+val to_list : t -> int list
+(** Elements in increasing order. *)

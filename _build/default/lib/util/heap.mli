@@ -1,8 +1,13 @@
 (** Array-based binary min-heap.
 
     Used by the event queue (ordered by time, with a sequence number as a
-    tie-break so simultaneous events run in schedule order) and by Dijkstra.
-    The comparison function is supplied at creation time. *)
+    tie-break so simultaneous events run in schedule order).  The comparison
+    function is supplied at creation time.
+
+    Popped and cleared slots are blanked, so the heap never retains
+    references to removed elements — a long simulation does not keep dead
+    events alive for the GC.  (Dijkstra uses {!Indexed_heap} instead, which
+    additionally offers [decrease_key] without allocation.) *)
 
 type 'a t
 

@@ -1,0 +1,21 @@
+(** Minimal JSON writer (no parser, no dependencies).
+
+    Backs the machine-readable bench baseline ([BENCH_fig2.json]) and the
+    [--json] modes of the bench harness and [pimsim].  Non-finite floats are
+    emitted as [null] so the output always parses. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** Serialize; [indent] (default false) pretty-prints with two-space
+    indentation. *)
+
+val to_file : string -> t -> unit
+(** Write pretty-printed JSON plus a trailing newline to a file. *)

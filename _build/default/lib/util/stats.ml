@@ -20,7 +20,7 @@ let percentile p xs =
   | [] -> 0.
   | _ ->
     let arr = Array.of_list xs in
-    Array.sort compare arr;
+    Array.sort Float.compare arr;
     let n = Array.length arr in
     let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
     let idx = max 0 (min (n - 1) (rank - 1)) in

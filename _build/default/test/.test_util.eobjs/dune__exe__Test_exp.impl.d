@@ -1,1 +1,1 @@
-test/test_exp.ml: Alcotest List Pim_core Pim_exp Pim_graph Pim_mcast Pim_net Pim_sim Printf String
+test/test_exp.ml: Alcotest Array List Pim_core Pim_exp Pim_graph Pim_mcast Pim_net Pim_sim Printf String

@@ -1,1 +1,1 @@
-test/test_util.ml: Alcotest Array Fun Int List Pim_util QCheck QCheck_alcotest
+test/test_util.ml: Alcotest Array Float Fun Gc Hashtbl Int List Pim_util QCheck QCheck_alcotest Sys

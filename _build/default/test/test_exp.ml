@@ -49,6 +49,35 @@ let test_fig2b_rejects_bad_args () =
     (Invalid_argument "Fig2b.run: senders must be members") (fun () ->
       ignore (Fig2b.run ~members:4 ~senders:5 ~trials:1 ~seed:1 ()))
 
+(* Regression: on a disconnected topology, a node that cannot reach the
+   group has eccentricity [max_int] toward both senders and members; the
+   seed implementation summed the two, wrapped negative, and crowned the
+   disconnected node "optimal" core.  The core must always be able to reach
+   every member when such a candidate exists. *)
+let test_fig2b_optimal_core_disconnected () =
+  let module Topology = Pim_graph.Topology in
+  let module Spt = Pim_graph.Spt in
+  (* Component A: 0-1-2-3 in a line (the group).  Component B: 4-5, cut off
+     from the group entirely. *)
+  let b = Topology.builder 6 in
+  ignore (Topology.add_p2p b 0 1);
+  ignore (Topology.add_p2p b 1 2);
+  ignore (Topology.add_p2p b 2 3);
+  ignore (Topology.add_p2p b 4 5);
+  let topo = Topology.freeze b in
+  let trees = Array.init 6 (fun u -> Spt.single_source topo u) in
+  let members = [ 0; 1; 2; 3 ] and senders = [ 0; 3 ] in
+  let core = Fig2b.optimal_core trees ~senders ~members in
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "core %d reaches member %d" core m)
+        true
+        (trees.(core).Spt.dist.(m) <> max_int))
+    members;
+  (* With every candidate in reach of the group, the line's middle wins. *)
+  Alcotest.(check bool) "core is on the group's component" true (core <= 3)
+
 let test_fig1_shapes () =
   let rows = Fig1.run ~packets:20 () in
   Alcotest.(check int) "five protocols" 5 (List.length rows);
@@ -285,6 +314,8 @@ let () =
         [
           Alcotest.test_case "concentration" `Quick test_fig2b_concentration;
           Alcotest.test_case "rejects bad args" `Quick test_fig2b_rejects_bad_args;
+          Alcotest.test_case "optimal core on disconnected topology" `Quick
+            test_fig2b_optimal_core_disconnected;
         ] );
       ("fig1", [ Alcotest.test_case "shapes" `Quick test_fig1_shapes ]);
       ("overhead", [ Alcotest.test_case "trends" `Quick test_overhead_trends ]);

@@ -181,7 +181,7 @@ let test_tree_edges_cover_members () =
   let t = Classic.grid 4 4 in
   let tr = Spt.single_source t 0 in
   let members = [ 3; 12; 15 ] in
-  let edges = Spt.tree_edges t tr ~members in
+  let edges = Spt.tree_edges tr ~members in
   let tree = Tree.of_edges ~n:16 edges in
   List.iter
     (fun m -> Alcotest.(check bool) (Printf.sprintf "member %d on tree" m) true (Tree.mem_node tree m))
@@ -192,6 +192,38 @@ let test_tree_edges_cover_members () =
       Alcotest.(check (option int)) "tree path = shortest" (Spt.distance tr m)
         (Tree.path_length tree 0 m))
     members
+
+let test_scratch_matches_fresh () =
+  let prng = Prng.create 99 in
+  let scratch = Spt.make_scratch ~n:30 in
+  (* The same scratch, reused across several distinct topologies and
+     sources, must agree with the allocating entry point. *)
+  for _ = 1 to 5 do
+    let t = Random_graph.generate ~prng ~nodes:30 ~degree:4. () in
+    for src = 0 to 9 do
+      let fresh = Spt.single_source t src in
+      let reused = Spt.single_source_into scratch t src in
+      Alcotest.(check (array int)) "dist" fresh.Spt.dist reused.Spt.dist;
+      Alcotest.(check bool) "parent" true (fresh.Spt.parent = reused.Spt.parent);
+      Alcotest.(check bool) "via" true (fresh.Spt.via = reused.Spt.via)
+    done
+  done
+
+let test_scratch_size_mismatch_rejected () =
+  let t = Classic.line 4 in
+  let scratch = Spt.make_scratch ~n:5 in
+  Alcotest.check_raises "wrong size"
+    (Invalid_argument "Spt.single_source_into: scratch for 5 nodes, topology has 4") (fun () ->
+      ignore (Spt.single_source_into scratch t 0))
+
+let test_all_pairs_into_matches () =
+  let prng = Prng.create 41 in
+  let t = Random_graph.generate ~prng ~nodes:20 ~degree:3. () in
+  let scratch = Spt.make_scratch ~n:20 in
+  let out = Array.init 20 (fun _ -> Array.make 20 0) in
+  Spt.all_pairs_into scratch t out;
+  let expected = Spt.all_pairs t in
+  Alcotest.(check bool) "same matrix" true (out = expected)
 
 let test_all_pairs_symmetric () =
   let prng = Prng.create 77 in
@@ -391,6 +423,9 @@ let () =
           Alcotest.test_case "usable filter" `Quick test_spt_usable_filter;
           Alcotest.test_case "first hop" `Quick test_first_hop;
           Alcotest.test_case "tree edges cover members" `Quick test_tree_edges_cover_members;
+          Alcotest.test_case "scratch matches fresh" `Quick test_scratch_matches_fresh;
+          Alcotest.test_case "scratch size mismatch" `Quick test_scratch_size_mismatch_rejected;
+          Alcotest.test_case "all pairs into matches" `Quick test_all_pairs_into_matches;
           Alcotest.test_case "all pairs symmetric" `Quick test_all_pairs_symmetric;
           QCheck_alcotest.to_alcotest prop_dijkstra_edge_relaxed;
           QCheck_alcotest.to_alcotest prop_dijkstra_path_length_matches;

@@ -1,8 +1,12 @@
-(* Unit and property tests for Pim_util: PRNG, heap, statistics. *)
+(* Unit and property tests for Pim_util: PRNG, heaps, bitset, statistics,
+   JSON writer. *)
 
 module Prng = Pim_util.Prng
 module Heap = Pim_util.Heap
+module Ih = Pim_util.Indexed_heap
+module Bitset = Pim_util.Bitset
 module Stats = Pim_util.Stats
+module Json = Pim_util.Json
 
 let test_prng_deterministic () =
   let a = Prng.create 42 and b = Prng.create 42 in
@@ -128,6 +132,48 @@ let test_heap_clear () =
   Heap.push h 9;
   Alcotest.(check (option int)) "usable after clear" (Some 9) (Heap.pop h)
 
+let test_heap_drain_leaves_reusable () =
+  let h = Heap.create ~cmp:Int.compare in
+  List.iter (Heap.push h) [ 4; 2; 9 ];
+  Alcotest.(check (list int)) "sorted" [ 2; 4; 9 ] (Heap.to_sorted_list h);
+  Alcotest.(check int) "empty afterwards" 0 (Heap.length h);
+  Alcotest.(check (option int)) "peek empty" None (Heap.peek h);
+  List.iter (Heap.push h) [ 7; 3 ];
+  Alcotest.(check (list int)) "reusable" [ 3; 7 ] (Heap.to_sorted_list h)
+
+(* Popped elements must not be retained by the heap's backing array: push
+   boxed values from a helper (so no stack reference survives), pop them,
+   and check the GC can collect them. *)
+let test_heap_no_retention_after_pop () =
+  let collected = ref 0 in
+  let h = Heap.create ~cmp:(fun (a, _) (b, _) -> Int.compare a b) in
+  let push_tracked k =
+    let v = (k, ref k) in
+    Gc.finalise (fun _ -> incr collected) v;
+    Heap.push h v
+  in
+  List.iter push_tracked [ 3; 1; 2 ];
+  for _ = 1 to 3 do
+    ignore (Sys.opaque_identity (Heap.pop h))
+  done;
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check int) "all popped elements collected" 3 !collected
+
+let test_heap_no_retention_after_clear () =
+  let collected = ref 0 in
+  let h = Heap.create ~cmp:(fun (a, _) (b, _) -> Int.compare a b) in
+  let push_tracked k =
+    let v = (k, ref k) in
+    Gc.finalise (fun _ -> incr collected) v;
+    Heap.push h v
+  in
+  List.iter push_tracked [ 5; 4; 6; 1 ];
+  Heap.clear h;
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check int) "all cleared elements collected" 4 !collected
+
 let prop_heap_sorts =
   QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
     QCheck.(list int)
@@ -158,6 +204,184 @@ let prop_heap_interleaved =
             | _ -> false)
         ops)
 
+(* Indexed heap *)
+
+let test_ih_basic () =
+  let h = Ih.create ~capacity:10 in
+  Alcotest.(check bool) "empty" true (Ih.is_empty h);
+  Ih.insert h 3 ~key:30;
+  Ih.insert h 7 ~key:10;
+  Ih.insert h 1 ~key:20;
+  Alcotest.(check int) "length" 3 (Ih.length h);
+  Alcotest.(check bool) "mem" true (Ih.mem h 7);
+  Alcotest.(check bool) "not mem" false (Ih.mem h 2);
+  Alcotest.(check (option int)) "key" (Some 20) (Ih.key h 1);
+  Alcotest.(check (option (pair int int))) "peek" (Some (7, 10)) (Ih.peek_min h);
+  Alcotest.(check (option (pair int int))) "pop 1" (Some (7, 10)) (Ih.pop_min h);
+  Alcotest.(check (option (pair int int))) "pop 2" (Some (1, 20)) (Ih.pop_min h);
+  Alcotest.(check (option (pair int int))) "pop 3" (Some (3, 30)) (Ih.pop_min h);
+  Alcotest.(check (option (pair int int))) "pop empty" None (Ih.pop_min h);
+  Alcotest.(check bool) "mem after pop" false (Ih.mem h 7)
+
+let test_ih_decrease_key () =
+  let h = Ih.create ~capacity:8 in
+  Ih.insert h 0 ~key:50;
+  Ih.insert h 1 ~key:40;
+  Ih.insert h 2 ~key:30;
+  Ih.decrease_key h 0 ~key:10;
+  Alcotest.(check (option int)) "new key" (Some 10) (Ih.key h 0);
+  Alcotest.(check (option (pair int int))) "reordered" (Some (0, 10)) (Ih.pop_min h);
+  Alcotest.check_raises "absent element"
+    (Invalid_argument "Indexed_heap.decrease_key: element not present") (fun () ->
+      Ih.decrease_key h 5 ~key:1);
+  Alcotest.check_raises "key increase"
+    (Invalid_argument "Indexed_heap.decrease_key: key increase") (fun () ->
+      Ih.decrease_key h 1 ~key:99)
+
+let test_ih_push_upserts () =
+  let h = Ih.create ~capacity:4 in
+  Ih.push h 2 ~key:9;
+  Ih.push h 2 ~key:4;
+  (* decreases *)
+  Ih.push h 2 ~key:7;
+  (* no-op: larger than current *)
+  Alcotest.(check (option int)) "kept the decrease" (Some 4) (Ih.key h 2);
+  Alcotest.(check int) "still one entry" 1 (Ih.length h)
+
+let test_ih_tie_breaks_on_element () =
+  let h = Ih.create ~capacity:6 in
+  List.iter (fun e -> Ih.insert h e ~key:5) [ 4; 1; 3 ];
+  Alcotest.(check (option (pair int int))) "smallest id first" (Some (1, 5)) (Ih.pop_min h);
+  Alcotest.(check (option (pair int int))) "then next" (Some (3, 5)) (Ih.pop_min h);
+  Alcotest.(check (option (pair int int))) "then last" (Some (4, 5)) (Ih.pop_min h)
+
+let test_ih_clear_reusable () =
+  let h = Ih.create ~capacity:5 in
+  Ih.insert h 0 ~key:1;
+  Ih.insert h 4 ~key:2;
+  Ih.clear h;
+  Alcotest.(check bool) "cleared" true (Ih.is_empty h);
+  Alcotest.(check bool) "pos reset" false (Ih.mem h 0);
+  Ih.insert h 0 ~key:8;
+  Alcotest.(check (option (pair int int))) "usable after clear" (Some (0, 8)) (Ih.pop_min h)
+
+let test_ih_rejects_duplicates_and_range () =
+  let h = Ih.create ~capacity:3 in
+  Ih.insert h 1 ~key:0;
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Indexed_heap.insert: element already present") (fun () ->
+      Ih.insert h 1 ~key:5);
+  Alcotest.check_raises "out of capacity"
+    (Invalid_argument "Indexed_heap.insert: element 3 out of capacity 3") (fun () ->
+      Ih.insert h 3 ~key:5)
+
+(* Model check: a sequence of insert/decrease/pop operations agrees with a
+   sorted-association-list model. *)
+let prop_ih_model =
+  QCheck.Test.make ~name:"indexed heap agrees with model" ~count:300
+    QCheck.(list (pair (int_bound 15) (int_bound 100)))
+    (fun ops ->
+      let h = Ih.create ~capacity:16 in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (e, k) ->
+          match Hashtbl.find_opt model e with
+          | None ->
+            Hashtbl.replace model e k;
+            Ih.insert h e ~key:k
+          | Some cur when k < cur ->
+            Hashtbl.replace model e k;
+            Ih.decrease_key h e ~key:k
+          | Some _ -> ())
+        ops;
+      let drained = ref [] in
+      let rec drain () =
+        match Ih.pop_min h with
+        | None -> ()
+        | Some (e, k) ->
+          drained := (k, e) :: !drained;
+          drain ()
+      in
+      drain ();
+      let expected =
+        Hashtbl.fold (fun e k acc -> (k, e) :: acc) model []
+        |> List.sort compare |> List.rev
+      in
+      !drained = expected)
+
+(* Bitset *)
+
+let test_bitset_basic () =
+  let b = Bitset.create 100 in
+  Alcotest.(check int) "universe" 100 (Bitset.length b);
+  Alcotest.(check bool) "initially empty" true (Bitset.is_empty b);
+  Bitset.add b 0;
+  Bitset.add b 63;
+  Bitset.add b 64;
+  Bitset.add b 99;
+  Alcotest.(check bool) "mem 0" true (Bitset.mem b 0);
+  Alcotest.(check bool) "mem 63" true (Bitset.mem b 63);
+  Alcotest.(check bool) "mem 64" true (Bitset.mem b 64);
+  Alcotest.(check bool) "not mem 1" false (Bitset.mem b 1);
+  Alcotest.(check int) "cardinal" 4 (Bitset.cardinal b);
+  Alcotest.(check (list int)) "to_list sorted" [ 0; 63; 64; 99 ] (Bitset.to_list b);
+  Bitset.remove b 63;
+  Alcotest.(check bool) "removed" false (Bitset.mem b 63);
+  Alcotest.(check int) "cardinal after remove" 3 (Bitset.cardinal b);
+  Bitset.clear b;
+  Alcotest.(check bool) "cleared" true (Bitset.is_empty b);
+  Alcotest.(check int) "cardinal zero" 0 (Bitset.cardinal b)
+
+let test_bitset_add_idempotent () =
+  let b = Bitset.create 10 in
+  Bitset.add b 5;
+  Bitset.add b 5;
+  Alcotest.(check int) "cardinal 1" 1 (Bitset.cardinal b)
+
+let test_bitset_bounds () =
+  let b = Bitset.create 8 in
+  Alcotest.check_raises "negative" (Invalid_argument "Bitset.add: index -1 out of [0,8)")
+    (fun () -> Bitset.add b (-1));
+  Alcotest.check_raises "too large" (Invalid_argument "Bitset.mem: index 8 out of [0,8)")
+    (fun () -> ignore (Bitset.mem b 8))
+
+let prop_bitset_model =
+  QCheck.Test.make ~name:"bitset agrees with list model" ~count:300
+    QCheck.(list (pair bool (int_bound 127)))
+    (fun ops ->
+      let b = Bitset.create 128 in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (is_add, i) ->
+          if is_add then begin
+            Bitset.add b i;
+            Hashtbl.replace model i ()
+          end
+          else begin
+            Bitset.remove b i;
+            Hashtbl.remove model i
+          end)
+        ops;
+      let expected = Hashtbl.fold (fun i () acc -> i :: acc) model [] |> List.sort Int.compare in
+      Bitset.to_list b = expected && Bitset.cardinal b = List.length expected)
+
+(* Json *)
+
+let test_json_scalars () =
+  Alcotest.(check string) "null" "null" (Json.to_string Json.Null);
+  Alcotest.(check string) "true" "true" (Json.to_string (Json.Bool true));
+  Alcotest.(check string) "int" "-42" (Json.to_string (Json.Int (-42)));
+  Alcotest.(check string) "float int" "2.0" (Json.to_string (Json.Float 2.));
+  Alcotest.(check string) "float frac" "1.5" (Json.to_string (Json.Float 1.5));
+  Alcotest.(check string) "nan is null" "null" (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string) "inf is null" "null" (Json.to_string (Json.Float Float.infinity))
+
+let test_json_structures () =
+  let v = Json.(Obj [ ("xs", Arr [ Int 1; Int 2 ]); ("s", Str "a\"b\n") ]) in
+  Alcotest.(check string) "compact" "{\"xs\":[1,2],\"s\":\"a\\\"b\\n\"}" (Json.to_string v);
+  Alcotest.(check string) "empty obj" "{}" (Json.to_string (Json.Obj []));
+  Alcotest.(check string) "empty arr" "[]" (Json.to_string (Json.Arr []))
+
 (* Stats *)
 
 let feq = Alcotest.float 1e-9
@@ -179,6 +403,35 @@ let test_stats_percentile () =
   Alcotest.check feq "p50" 50. (Stats.percentile 50. xs);
   Alcotest.check feq "p95" 95. (Stats.percentile 95. xs);
   Alcotest.check feq "p100" 100. (Stats.percentile 100. xs)
+
+let test_stats_percentile_edges () =
+  let xs = [ 7.; -3.; 5.; 1. ] in
+  Alcotest.check feq "p0 is the minimum" (-3.) (Stats.percentile 0. xs);
+  Alcotest.check feq "p100 is the maximum" 7. (Stats.percentile 100. xs);
+  Alcotest.check feq "p0 singleton" 9. (Stats.percentile 0. [ 9. ]);
+  Alcotest.check feq "p100 singleton" 9. (Stats.percentile 100. [ 9. ]);
+  Alcotest.check feq "p50 unsorted negatives" 1. (Stats.percentile 50. xs)
+
+let test_stats_empty_is_nan_free () =
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check bool) (name ^ " finite") true (Float.is_finite v);
+      Alcotest.check feq name 0. v)
+    [
+      ("mean", Stats.mean []);
+      ("stddev", Stats.stddev []);
+      ("stddev singleton", Stats.stddev [ 5. ]);
+      ("minimum", Stats.minimum []);
+      ("maximum", Stats.maximum []);
+      ("p0", Stats.percentile 0. []);
+      ("p50", Stats.percentile 50. []);
+      ("p100", Stats.percentile 100. []);
+    ];
+  let s = Stats.summarize [] in
+  Alcotest.(check int) "n" 0 s.Stats.n;
+  List.iter
+    (fun (name, v) -> Alcotest.(check bool) (name ^ " finite") true (Float.is_finite v))
+    [ ("mean", s.Stats.mean); ("sd", s.Stats.stddev); ("p50", s.Stats.p50); ("p95", s.Stats.p95) ]
 
 let test_stats_summary () =
   let s = Stats.summarize [ 1.; 2.; 3.; 4. ] in
@@ -213,8 +466,33 @@ let () =
           Alcotest.test_case "duplicates" `Quick test_heap_duplicates;
           Alcotest.test_case "pop empty" `Quick test_heap_pop_empty;
           Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "drain leaves reusable" `Quick test_heap_drain_leaves_reusable;
+          Alcotest.test_case "no retention after pop" `Quick test_heap_no_retention_after_pop;
+          Alcotest.test_case "no retention after clear" `Quick test_heap_no_retention_after_clear;
           QCheck_alcotest.to_alcotest prop_heap_sorts;
           QCheck_alcotest.to_alcotest prop_heap_interleaved;
+        ] );
+      ( "indexed-heap",
+        [
+          Alcotest.test_case "basic" `Quick test_ih_basic;
+          Alcotest.test_case "decrease_key" `Quick test_ih_decrease_key;
+          Alcotest.test_case "push upserts" `Quick test_ih_push_upserts;
+          Alcotest.test_case "deterministic ties" `Quick test_ih_tie_breaks_on_element;
+          Alcotest.test_case "clear reusable" `Quick test_ih_clear_reusable;
+          Alcotest.test_case "rejects duplicates/range" `Quick test_ih_rejects_duplicates_and_range;
+          QCheck_alcotest.to_alcotest prop_ih_model;
+        ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "basic" `Quick test_bitset_basic;
+          Alcotest.test_case "add idempotent" `Quick test_bitset_add_idempotent;
+          Alcotest.test_case "bounds" `Quick test_bitset_bounds;
+          QCheck_alcotest.to_alcotest prop_bitset_model;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "scalars" `Quick test_json_scalars;
+          Alcotest.test_case "structures" `Quick test_json_structures;
         ] );
       ( "stats",
         [
@@ -222,6 +500,8 @@ let () =
           Alcotest.test_case "stddev" `Quick test_stats_stddev;
           Alcotest.test_case "min/max" `Quick test_stats_minmax;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "percentile edges" `Quick test_stats_percentile_edges;
+          Alcotest.test_case "empty inputs NaN-free" `Quick test_stats_empty_is_nan_free;
           Alcotest.test_case "summary" `Quick test_stats_summary;
         ] );
     ]

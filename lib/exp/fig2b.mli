@@ -16,6 +16,19 @@ type row = {
   trials : int;
 }
 
+val optimal_core :
+  Pim_graph.Spt.tree array ->
+  senders:Pim_graph.Topology.node list ->
+  members:Pim_graph.Topology.node list ->
+  Pim_graph.Topology.node
+(** The node minimising [max_s d(s,c) + max_r d(c,r)] given one
+    shortest-path tree per candidate node.  Candidates that cannot reach
+    every sender and member are skipped (additions saturate instead of
+    wrapping), so a node in a different partition of a disconnected
+    topology can never be chosen while a fully-reaching candidate exists;
+    with no such candidate, the node missing the fewest endpoints wins.
+    Exposed for the experiment harness and its regression tests. *)
+
 val run :
   ?nodes:int ->
   ?groups:int ->

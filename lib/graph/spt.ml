@@ -5,44 +5,69 @@ type tree = {
   via : Topology.link_id option array;
 }
 
-let single_source ?(usable = fun _ _ _ -> true) topo src =
+type scratch = {
+  s_dist : int array;
+  s_parent : Topology.node option array;
+  s_via : Topology.link_id option array;
+  s_heap : Pim_util.Indexed_heap.t;
+}
+
+let make_scratch ~n =
+  if n < 0 then invalid_arg "Spt.make_scratch: negative size";
+  {
+    s_dist = Array.make n max_int;
+    s_parent = Array.make n None;
+    s_via = Array.make n None;
+    s_heap = Pim_util.Indexed_heap.create ~capacity:n;
+  }
+
+let scratch_size s = Array.length s.s_dist
+
+(* Dijkstra with an indexed heap: each node is pushed/decreased while grey
+   and popped exactly once, so no [done_] marks or lazy deletions are
+   needed.  The heap breaks key ties on the node id, which preserves the
+   deterministic settle order the lazy-deletion implementation had. *)
+let single_source_into ?(usable = fun _ _ _ -> true) scratch topo src =
   let n = Topology.n_nodes topo in
-  let dist = Array.make n max_int in
-  let parent = Array.make n None in
-  let via = Array.make n None in
-  let done_ = Array.make n false in
-  let cmp (d1, n1) (d2, n2) =
-    match Int.compare d1 d2 with 0 -> Int.compare n1 n2 | c -> c
-  in
-  let heap = Pim_util.Heap.create ~cmp in
+  if scratch_size scratch <> n then
+    invalid_arg
+      (Printf.sprintf "Spt.single_source_into: scratch for %d nodes, topology has %d"
+         (scratch_size scratch) n);
+  let dist = scratch.s_dist and parent = scratch.s_parent and via = scratch.s_via in
+  let heap = scratch.s_heap in
+  Array.fill dist 0 n max_int;
+  Array.fill parent 0 n None;
+  Array.fill via 0 n None;
+  Pim_util.Indexed_heap.clear heap;
   dist.(src) <- 0;
-  Pim_util.Heap.push heap (0, src);
+  Pim_util.Indexed_heap.insert heap src ~key:0;
   let rec loop () =
-    match Pim_util.Heap.pop heap with
+    match Pim_util.Indexed_heap.pop_min heap with
     | None -> ()
-    | Some (d, u) ->
-      if not done_.(u) then begin
-        done_.(u) <- true;
-        Array.iter
-          (fun (_, lid) ->
-            let l = Topology.link topo lid in
-            List.iter
-              (fun v ->
-                let nd = d + l.Topology.cost in
-                if usable u v lid && nd < dist.(v) then begin
-                  dist.(v) <- nd;
-                  parent.(v) <- Some u;
-                  via.(v) <- Some lid;
-                  Pim_util.Heap.push heap (nd, v)
-                end)
-              (Topology.others_on_link topo lid u))
-          (Topology.ifaces topo u);
-        loop ()
-      end
-      else loop ()
+    | Some (u, d) ->
+      Array.iter
+        (fun (_, lid) ->
+          let l = Topology.link topo lid in
+          let nd = d + l.Topology.cost in
+          (* Iterate the link ends in place rather than via
+             [Topology.others_on_link], which allocates a list per edge. *)
+          Array.iter
+            (fun v ->
+              if v <> u && usable u v lid && nd < dist.(v) then begin
+                dist.(v) <- nd;
+                parent.(v) <- Some u;
+                via.(v) <- Some lid;
+                Pim_util.Indexed_heap.push heap v ~key:nd
+              end)
+            l.Topology.ends)
+        (Topology.ifaces topo u);
+      loop ()
   in
   loop ();
   { src; dist; parent; via }
+
+let single_source ?usable topo src =
+  single_source_into ?usable (make_scratch ~n:(Topology.n_nodes topo)) topo src
 
 let distance t v = if t.dist.(v) = max_int then None else Some t.dist.(v)
 
@@ -94,8 +119,7 @@ let first_hop topo t =
   done;
   (hop, hop_iface)
 
-let tree_edges topo t ~members =
-  ignore topo;
+let tree_edges t ~members =
   let seen = Hashtbl.create 64 in
   let edges = ref [] in
   let rec up v =
@@ -111,6 +135,19 @@ let tree_edges topo t ~members =
   List.iter (fun m -> if t.dist.(m) <> max_int then up m) members;
   List.rev !edges
 
+let all_pairs_into scratch topo out =
+  let n = Topology.n_nodes topo in
+  if Array.length out <> n then invalid_arg "Spt.all_pairs_into: matrix has wrong row count";
+  for u = 0 to n - 1 do
+    let t = single_source_into scratch topo u in
+    if Array.length out.(u) <> n then
+      invalid_arg "Spt.all_pairs_into: matrix has wrong column count";
+    Array.blit t.dist 0 out.(u) 0 n
+  done
+
 let all_pairs topo =
   let n = Topology.n_nodes topo in
-  Array.init n (fun u -> (single_source topo u).dist)
+  let scratch = make_scratch ~n in
+  let out = Array.init n (fun _ -> Array.make n max_int) in
+  all_pairs_into scratch topo out;
+  out

@@ -1,0 +1,60 @@
+type t = {
+  words : int array;
+  n : int;
+}
+
+let bits_per_word = Sys.int_size
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative size";
+  { words = Array.make ((n + bits_per_word - 1) / bits_per_word) 0; n }
+
+let length t = t.n
+
+let check t i name =
+  if i < 0 || i >= t.n then invalid_arg (Printf.sprintf "Bitset.%s: index %d out of [0,%d)" name i t.n)
+
+let mem t i =
+  check t i "mem";
+  t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add t i =
+  check t i "add";
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let remove t i =
+  check t i "remove";
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let bits = t.words.(w) in
+    if bits <> 0 then
+      for b = 0 to bits_per_word - 1 do
+        if bits land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
+      done
+  done
+
+let add_list t is = List.iter (add t) is
+
+let of_list n is =
+  let t = create n in
+  add_list t is;
+  t
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun i -> acc := i :: !acc) t;
+  List.rev !acc
