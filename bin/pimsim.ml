@@ -203,6 +203,64 @@ let loss_cmd =
     (Cmd.info "loss" ~doc:"E8: robustness to control-message loss (footnote 4).")
     Term.(const run $ seed_arg)
 
+let chaos_cmd =
+  let run seed nodes receivers events json =
+    let row_to_json (r : Pim_exp.Chaos.row) =
+      Pim_util.Json.(
+        Obj
+          [
+            ("protocol", Str r.protocol);
+            ("deliveries", Int r.deliveries);
+            ("expected", Int r.expected);
+            ("dup_deliveries", Int r.dup_deliveries);
+            ("max_gap", Float r.max_gap);
+            ("mean_convergence", Float r.mean_convergence);
+            ("max_convergence", Float r.max_convergence);
+            ("churn_control", Int r.churn_control);
+            ("total_control", Int r.total_control);
+            ("restarts", Int r.restarts);
+            ("residual_entries", Int r.residual_entries);
+            ( "violations",
+              Arr
+                (List.map
+                   (fun v -> Str (Format.asprintf "%a" Pim_sim.Oracle.pp_violation v))
+                   r.violations) );
+          ])
+    in
+    let params =
+      Pim_util.Json.
+        [ ("seed", Int seed); ("nodes", Int nodes); ("receivers", Int receivers); ("events", Int events) ]
+    in
+    let report = ref None in
+    ignore
+      (with_json_output ~experiment:"chaos" ~json ~params ~row_to_json (fun () ->
+           let r = Pim_exp.Chaos.run ~nodes ~receivers ~events ~seed () in
+           report := Some r;
+           r.Pim_exp.Chaos.rows));
+    let report = Option.get !report in
+    Format.printf "%a" Pim_exp.Chaos.pp_report report;
+    let violations = Pim_exp.Chaos.total_violations report in
+    if violations > 0 then begin
+      Format.eprintf "chaos: %d oracle violation(s) — run failed (seed %d)@." violations seed;
+      exit 1
+    end
+  in
+  let nodes =
+    Arg.(value & opt int 30 & info [ "nodes" ] ~doc:"Routers in the random network.")
+  in
+  let receivers =
+    Arg.(value & opt int 5 & info [ "receivers" ] ~doc:"Group members (protected from crashes).")
+  in
+  let events =
+    Arg.(value & opt int 8 & info [ "events" ] ~doc:"Fault events in the schedule.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "E9: fault-injection differential — one seeded fault schedule vs all four protocols, \
+          with a global invariant oracle (any violation exits nonzero).")
+    Term.(const run $ seed_arg $ nodes $ receivers $ events $ json_arg)
+
 let all_cmd =
   let run seed =
     Format.printf "%a@." Pim_exp.Fig2a.pp_rows (Pim_exp.Fig2a.run ~trials:100 ~seed ());
@@ -230,4 +288,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ fig2a_cmd; fig2b_cmd; fig1_cmd; overhead_cmd; failover_cmd; ablation_cmd; refresh_cmd; groups_cmd; aggregation_cmd; churn_cmd; loss_cmd; all_cmd ]))
+          [ fig2a_cmd; fig2b_cmd; fig1_cmd; overhead_cmd; failover_cmd; ablation_cmd; refresh_cmd; groups_cmd; aggregation_cmd; churn_cmd; loss_cmd; chaos_cmd; all_cmd ]))

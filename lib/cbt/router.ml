@@ -103,6 +103,9 @@ type t = {
   stats : stats;
   mutable local_cbs : (Packet.t -> unit) list;
   mutable local_seq : int;
+  (* Groups with directly-connected members, remembered outside [entries]
+     so a restart (which wipes them) can rejoin each tree. *)
+  mutable local_joined : Group.t list;
 }
 
 let node t = t.node
@@ -327,11 +330,14 @@ let join_local t g =
   match t.core_of g with
   | None -> tr t "ignore" "%s has no core configured" (Group.to_string g)
   | Some core ->
+    if not (List.exists (Group.equal g) t.local_joined) then
+      t.local_joined <- g :: t.local_joined;
     let e = ensure t g ~core in
     e.local <- true;
     if (not e.confirmed) && (not (is_core t e)) && not e.join_outstanding then send_join t e
 
 let leave_local t g =
+  t.local_joined <- List.filter (fun g' -> not (Group.equal g g')) t.local_joined;
   match Hashtbl.find_opt t.entries g with Some e -> e.local <- false | None -> ()
 
 let on_local_data t f = t.local_cbs <- t.local_cbs @ [ f ]
@@ -344,6 +350,18 @@ let send_local_data t ~group ?size () =
   in
   t.local_seq <- t.local_seq + 1;
   originate t pkt
+
+(* Crash-and-reboot: CBT is hard state, so losing [entries] severs the
+   tree at this node on both sides.  Upstream: we rejoin immediately for
+   groups with directly-connected members.  Downstream: our former
+   children keep believing we are their parent until their echoes go
+   unanswered for [parent_timeout], then flush and rejoin — the slow-heal
+   behaviour that distinguishes explicit-ack hard state from PIM's
+   periodic soft-state refresh (paper footnote 4). *)
+let restart t =
+  tr t "restart" "rebooted: tree state wiped";
+  Hashtbl.reset t.entries;
+  List.iter (fun g -> join_local t g) t.local_joined
 
 (* {1 Timers} *)
 
@@ -426,6 +444,7 @@ let create ?(config = default_config) ?trace ~net ~rib ~core_of node =
       stats = fresh_stats ();
       local_cbs = [];
       local_seq = 0;
+      local_joined = [];
     }
   in
   Net.set_handler net node (fun ~iface pkt -> handle_packet t ~iface pkt);

@@ -81,6 +81,13 @@ val is_encapsulated_data : Pim_net.Packet.t -> bool
 (** True for the core-bound tunnel frames of off-tree senders when they
     carry multicast data (traffic classifiers must count them as data). *)
 
+val restart : t -> unit
+(** Crash-and-reboot: wipe all tree state, then rejoin the tree of every
+    group with directly-connected members.  Former children only discover
+    the loss when their echoes go unanswered for [parent_timeout] and
+    flush — CBT's hard state has no periodic refresh to heal them sooner
+    (paper footnote 4). *)
+
 module Deployment : sig
   type router := t
 

@@ -77,6 +77,10 @@ type t = {
   mutable local_cbs : (Packet.t -> unit) list;
   mutable local_seq : int;
   mutable proxy_ifaces : Topology.iface list;
+  (* Directly-connected memberships, remembered outside the FIB so that a
+     restart (which wipes the FIB) can re-learn them — the equivalent of
+     attached hosts answering the first post-reboot IGMP query. *)
+  mutable local_members : (Group.t * Topology.iface) list;
 }
 
 let node t = t.node
@@ -286,12 +290,15 @@ let add_local_member t g ~iface =
   match select_rp t g with
   | None -> tr t "ignore" "group %s has no RP: not sparse-mode" (Group.to_string g)
   | Some rp ->
+    if not (List.mem (g, iface) t.local_members) then
+      t.local_members <- (g, iface) :: t.local_members;
     let e = ensure_star t g ~rp in
     Fwd.add_oif e iface ~expires:(now t) ~local:true;
     keepalive t e;
     tr t "member" "local member for %s on iface %d" (Group.to_string g) iface
 
 let drop_local_member t g ~iface =
+  t.local_members <- List.filter (fun m -> m <> (g, iface)) t.local_members;
   match Fwd.find_star t.fib g with
   | None -> ()
   | Some e -> (
@@ -311,6 +318,20 @@ let leave_on_iface t g ~iface = drop_local_member t g ~iface
 
 let add_proxy_iface t iface =
   if not (List.mem iface t.proxy_ifaces) then t.proxy_ifaces <- iface :: t.proxy_ifaces
+
+(* A crash-and-reboot: all forwarding and per-entry protocol state is
+   lost; only configuration (RP set, Config) and directly-connected
+   memberships survive.  The tree re-forms purely through the soft-state
+   machinery — triggered joins now, periodic refresh thereafter
+   (section 3.4's robustness argument, which the chaos harness tests). *)
+let restart t =
+  tr t "restart" "rebooted: forwarding state wiped";
+  Fwd.clear t.fib;
+  Hashtbl.reset t.auxes;
+  Hashtbl.reset t.spt_counters;
+  let members = t.local_members in
+  t.local_members <- [];
+  List.iter (fun (g, iface) -> add_local_member t g ~iface) members
 
 let has_local_members t g =
   match Fwd.find_star t.fib g with
@@ -1021,6 +1042,7 @@ let create ?(config = Config.default) ?igmp_config ?trace ~net ~rib ~rp_set node
       local_cbs = [];
       local_seq = 0;
       proxy_ifaces = [];
+      local_members = [];
     }
   in
   Net.set_handler net node (fun ~iface pkt -> handle_packet t ~iface pkt);

@@ -114,3 +114,13 @@ val send_local_data : t -> group:Pim_net.Group.t -> ?host:int -> ?size:int -> un
 
 val local_source_addr : ?host:int -> t -> Pim_net.Addr.t
 (** The source address {!send_local_data} uses for [host]. *)
+
+val restart : t -> unit
+(** Crash-and-reboot: wipe the forwarding table and every per-entry
+    protocol timer, keeping only configuration (RP set, {!Config}) and
+    directly-connected memberships — which are immediately re-announced,
+    as attached hosts would answer the first post-reboot IGMP query.  The
+    trees must re-form purely via triggered joins and the periodic
+    soft-state refresh (section 3.4).  Pair with
+    [Net.set_node_up net node false] / [... true] to model the outage
+    itself; call [restart] at the moment the node comes back. *)

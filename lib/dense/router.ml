@@ -516,6 +516,21 @@ let sweep t =
       end)
     (Fwd.entries t.fib)
 
+(* Crash-and-reboot: all data-driven state ((S,G) entries, prune state,
+   learned region adverts) is lost; configured local memberships survive
+   (attached hosts re-report).  Broadcast-and-prune needs no resync
+   protocol — the next data packet rebuilds the entry — but the region
+   membership advert is re-originated at once so border routers keep an
+   accurate view.  [advert_seq] stays monotonic across the reboot,
+   otherwise peers would discard the post-reboot adverts as stale. *)
+let restart t =
+  tr t "restart" "rebooted: forwarding state wiped";
+  Fwd.clear t.fib;
+  Hashtbl.reset t.auxes;
+  Hashtbl.reset t.region_db;
+  sync_presence t;
+  originate_advert t
+
 let handle_packet t ~iface pkt =
   if not (Pim_igmp.Router.handle_packet t.igmp ~iface pkt) then begin
     match pkt.Packet.payload with

@@ -81,6 +81,13 @@ val send_local_data : t -> group:Pim_net.Group.t -> ?size:int -> unit -> unit
 
 val local_source_addr : t -> Pim_net.Addr.t
 
+val restart : t -> unit
+(** Crash-and-reboot: wipe (S,G) entries, prune state, and learned region
+    adverts; configured local memberships survive (attached hosts
+    re-report).  Data-driven broadcast-and-prune rebuilds forwarding state
+    on the next packet; the membership advert is re-originated immediately
+    with a higher sequence number. *)
+
 (** {1 Region membership (for dense/sparse border routers)} *)
 
 val region_has_member : t -> Pim_net.Group.t -> bool

@@ -1,0 +1,71 @@
+(** Differential chaos experiment: one seeded fault schedule, replayed
+    verbatim against PIM sparse mode, PIM dense mode, CBT and MOSPF.
+
+    Each protocol gets an identical topology, member set, source and
+    {!Pim_sim.Fault} schedule, a steady data stream, and a
+    {!Pim_sim.Oracle} watching the wire.  After the last fault heals and
+    a per-protocol settle time passes, a probe burst checks loop freedom
+    and receiver reachability, protocol-specific state checks run (PIM:
+    iif/RPF consistency and stale-oif detection; MOSPF: domain-wide
+    membership sync), and after all members leave an orphaned-state
+    check verifies the state decays to the protocol's residual floor
+    (CBT's core legitimately keeps its tree entry).
+
+    The per-protocol rows quantify what the paper argues qualitatively:
+    soft state (PIM, section 3.8) reconverges via refresh alone, dense
+    mode pays broadcast-and-prune duplication for fast healing, CBT's
+    hard state waits out [parent_timeout] before repair, and MOSPF
+    resyncs by reflooding LSAs. *)
+
+type row = {
+  protocol : string;
+  deliveries : int;  (** distinct (packet, receiver) deliveries *)
+  expected : int;  (** packets sent x receivers *)
+  dup_deliveries : int;  (** duplicate copies members received *)
+  max_gap : float;  (** worst per-receiver silence, in send-time terms *)
+  mean_convergence : float;
+      (** fault onset to first send every member received, averaged *)
+  max_convergence : float;
+  churn_control : int;  (** control traversals during the fault window *)
+  total_control : int;
+  restarts : int;  (** node crash/restart cycles in the schedule *)
+  residual_entries : int;  (** state left after members leave and timers run *)
+  violations : Pim_sim.Oracle.violation list;
+}
+
+type report = {
+  seed : int;
+  schedule : Pim_sim.Fault.event list;
+  rows : row list;
+}
+
+val run :
+  ?nodes:int ->
+  ?degree:float ->
+  ?receivers:int ->
+  ?events:int ->
+  ?fault_window:float ->
+  ?mean_outage:float ->
+  seed:int ->
+  unit ->
+  report
+(** Defaults: 30 nodes, degree 4, 5 receivers, 8 fault events over a
+    40 s window.  Deterministic for a given seed. *)
+
+val pim_state_checks :
+  net:Pim_sim.Net.t ->
+  static:Pim_routing.Static.t ->
+  deployment:Pim_core.Deployment.t ->
+  (string * (unit -> string list)) list
+(** The PIM-SM invariants the chaos run feeds to
+    {!Pim_sim.Oracle.run_check}: ["iif-consistency"] (every entry's
+    incoming interface matches the RPF interface toward its target) and
+    ["stale-oif"] (every live non-local oif has matching downstream
+    state behind it).  Exposed so tests can corrupt a deployment and
+    assert the oracle notices. *)
+
+val total_violations : report -> int
+(** Zero means every invariant held for every protocol — the pass/fail
+    verdict of a chaos run. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -130,6 +130,8 @@ let group_entries t g =
 
 let count t = Hashtbl.length t.tbl
 
+let clear t = Hashtbl.reset t.tbl
+
 let pp ppf t =
   let sorted =
     entries t

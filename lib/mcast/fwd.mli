@@ -97,4 +97,8 @@ val group_entries : t -> Pim_net.Group.t -> entry list
 
 val count : t -> int
 
+val clear : t -> unit
+(** Drop every entry — a router restart loses its forwarding state and
+    must rebuild it from soft-state refreshes. *)
+
 val pp : Format.formatter -> t -> unit

@@ -106,13 +106,20 @@ let originate_lsa t =
   flood t ~except:None lsa_v
 
 let install_lsa t ~iface (l : lsa) =
-  let fresher =
-    match Hashtbl.find_opt t.lsdb l.origin with None -> true | Some (seq, _) -> l.seq > seq
-  in
-  if fresher then begin
-    Hashtbl.replace t.lsdb l.origin (l.seq, GroupSet.of_list l.groups);
-    Hashtbl.reset t.cache;
-    flood t ~except:(Some iface) l
+  (* An echo of our own LSA flooded back around a cycle carries nothing we
+     don't already know (local_groups is authoritative); installing it
+     would leave a stale self-entry in the database after the final
+     origination.  Real OSPF likewise special-cases self-originated
+     LSAs. *)
+  if l.origin <> t.node then begin
+    let fresher =
+      match Hashtbl.find_opt t.lsdb l.origin with None -> true | Some (seq, _) -> l.seq > seq
+    in
+    if fresher then begin
+      Hashtbl.replace t.lsdb l.origin (l.seq, GroupSet.of_list l.groups);
+      Hashtbl.reset t.cache;
+      flood t ~except:(Some iface) l
+    end
   end
 
 (* Compute this router's part of the source-rooted shortest-path tree to
@@ -238,7 +245,19 @@ let handle_packet t ~iface pkt =
     | _ -> handle_data t ~iface pkt)
   | _ -> ()
 
-let create ?trace ~net node =
+(* Crash-and-reboot: the link-state database and forwarding cache are
+   lost; local memberships survive (attached hosts re-report).  The own
+   LSA is re-originated immediately — with a higher sequence number, so
+   neighbours accept it — but other routers' membership is only relearned
+   from their next flooded LSA, which is why deployments that exercise
+   restarts need [lsa_refresh] (real OSPF re-floods every LSRefreshTime). *)
+let restart t =
+  tr t "restart" "rebooted: LSDB and forwarding cache wiped";
+  Hashtbl.reset t.lsdb;
+  Hashtbl.reset t.cache;
+  originate_lsa t
+
+let create ?trace ?lsa_refresh ~net node =
   let t =
     {
       node;
@@ -257,6 +276,16 @@ let create ?trace ~net node =
   in
   Net.set_handler net node (fun ~iface pkt -> handle_packet t ~iface pkt);
   Net.on_link_change net (fun _ _ -> Hashtbl.reset t.cache);
+  (match lsa_refresh with
+  | None -> ()
+  | Some period ->
+    if period <= 0. then invalid_arg "Mospf.Router.create: lsa_refresh must be > 0";
+    let frac = float_of_int (node mod 16) /. 16. in
+    ignore
+      (Engine.every t.eng
+         ~start:(period *. (0.3 +. (0.5 *. frac)))
+         ~interval:period
+         (fun () -> if GroupSet.is_empty t.local_groups then () else originate_lsa t)));
   t
 
 module Deployment = struct
@@ -264,9 +293,9 @@ module Deployment = struct
 
   type nonrec t = { routers : router array }
 
-  let create ?trace net =
+  let create ?trace ?lsa_refresh net =
     let n = Topology.n_nodes (Net.topo net) in
-    { routers = Array.init n (fun u -> create ?trace ~net u) }
+    { routers = Array.init n (fun u -> create ?trace ?lsa_refresh ~net u) }
 
   let router t u = t.routers.(u)
 

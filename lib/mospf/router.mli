@@ -28,9 +28,14 @@ type t
 
 val create :
   ?trace:Pim_sim.Trace.t ->
+  ?lsa_refresh:float ->
   net:Pim_sim.Net.t ->
   Pim_graph.Topology.node ->
   t
+(** [lsa_refresh] enables periodic re-origination of this router's
+    membership LSA (real OSPF's LSRefreshTime), off by default.  Without
+    it a router that {!restart}s never relearns other routers' membership
+    until they next change. *)
 
 val node : t -> Pim_graph.Topology.node
 
@@ -53,12 +58,18 @@ val send_local_data : t -> group:Pim_net.Group.t -> ?size:int -> unit -> unit
 
 val local_source_addr : t -> Pim_net.Addr.t
 
+val restart : t -> unit
+(** Crash-and-reboot: wipe the LSDB and forwarding cache; local
+    memberships survive and the own LSA is re-flooded at once with a
+    higher sequence number.  Other routers' membership is relearned from
+    their next (refresh-driven) LSA. *)
+
 module Deployment : sig
   type router := t
 
   type t
 
-  val create : ?trace:Pim_sim.Trace.t -> Pim_sim.Net.t -> t
+  val create : ?trace:Pim_sim.Trace.t -> ?lsa_refresh:float -> Pim_sim.Net.t -> t
 
   val router : t -> Pim_graph.Topology.node -> router
 

@@ -1,0 +1,158 @@
+module Topology = Pim_graph.Topology
+module Prng = Pim_util.Prng
+
+type action =
+  | Link_down of Topology.link_id
+  | Link_up of Topology.link_id
+  | Link_flap of Topology.link_id * float
+  | Node_crash of Topology.node * float
+  | Partition of Topology.node list
+  | Heal
+  | Loss_burst of float * float
+  | Jitter_burst of float * float
+
+type event = { at : float; action : action }
+
+let pp_action ppf = function
+  | Link_down lid -> Format.fprintf ppf "link %d down" lid
+  | Link_up lid -> Format.fprintf ppf "link %d up" lid
+  | Link_flap (lid, d) -> Format.fprintf ppf "link %d flaps for %.1fs" lid d
+  | Node_crash (u, d) -> Format.fprintf ppf "node %d crashes for %.1fs" u d
+  | Partition nodes ->
+    Format.fprintf ppf "partition {%s}" (String.concat "," (List.map string_of_int nodes))
+  | Heal -> Format.fprintf ppf "heal partition"
+  | Loss_burst (rate, d) -> Format.fprintf ppf "%.0f%% loss for %.1fs" (100. *. rate) d
+  | Jitter_burst (amp, d) -> Format.fprintf ppf "jitter %.1fs for %.1fs" amp d
+
+let pp_event ppf e = Format.fprintf ppf "t=%.1f %a" e.at pp_action e.action
+
+type t = {
+  net : Net.t;
+  restart : Topology.node -> unit;
+  mutable partitioned : Topology.link_id list;  (* links cut by Partition, to Heal *)
+  mutable loss_depth : int;
+  mutable base_loss : float;
+  mutable jitter_depth : int;
+  mutable base_jitter : float;
+  mutable log : (float * string) list;  (* newest first *)
+}
+
+let log t = List.rev t.log
+
+let note t msg =
+  t.log <- (Engine.now (Net.engine t.net), msg) :: t.log
+
+let notef t fmt = Format.kasprintf (note t) fmt
+
+let apply t action =
+  let net = t.net in
+  let eng = Net.engine net in
+  notef t "%a" pp_action action;
+  match action with
+  | Link_down lid -> Net.set_link_up net lid false
+  | Link_up lid -> Net.set_link_up net lid true
+  | Link_flap (lid, d) ->
+    Net.set_link_up net lid false;
+    ignore
+      (Engine.schedule eng ~after:d (fun () ->
+           notef t "link %d restored" lid;
+           Net.set_link_up net lid true))
+  | Node_crash (u, d) ->
+    Net.set_node_up net u false;
+    ignore
+      (Engine.schedule eng ~after:d (fun () ->
+           notef t "node %d restarts" u;
+           Net.set_node_up net u true;
+           t.restart u))
+  | Partition nodes ->
+    let inside = Array.make (Topology.n_nodes (Net.topo net)) false in
+    List.iter (fun u -> inside.(u) <- true) nodes;
+    Array.iter
+      (fun (l : Topology.link) ->
+        let any_in = Array.exists (fun u -> inside.(u)) l.Topology.ends in
+        let any_out = Array.exists (fun u -> not inside.(u)) l.Topology.ends in
+        if any_in && any_out && Net.link_up net l.Topology.id then begin
+          t.partitioned <- l.Topology.id :: t.partitioned;
+          Net.set_link_up net l.Topology.id false
+        end)
+      (Topology.links (Net.topo net))
+  | Heal ->
+    List.iter (fun lid -> Net.set_link_up net lid true) t.partitioned;
+    t.partitioned <- []
+  | Loss_burst (rate, d) ->
+    if t.loss_depth = 0 then t.base_loss <- Net.loss_rate net;
+    t.loss_depth <- t.loss_depth + 1;
+    Net.set_loss_rate net rate;
+    ignore
+      (Engine.schedule eng ~after:d (fun () ->
+           t.loss_depth <- t.loss_depth - 1;
+           if t.loss_depth = 0 then begin
+             notef t "loss burst over";
+             Net.set_loss_rate net t.base_loss
+           end))
+  | Jitter_burst (amp, d) ->
+    if t.jitter_depth = 0 then t.base_jitter <- Net.jitter net;
+    t.jitter_depth <- t.jitter_depth + 1;
+    Net.set_jitter net amp;
+    ignore
+      (Engine.schedule eng ~after:d (fun () ->
+           t.jitter_depth <- t.jitter_depth - 1;
+           if t.jitter_depth = 0 then begin
+             notef t "jitter burst over";
+             Net.set_jitter net t.base_jitter
+           end))
+
+let install ?(restart = fun _ -> ()) net events =
+  let t =
+    {
+      net;
+      restart;
+      partitioned = [];
+      loss_depth = 0;
+      base_loss = 0.;
+      jitter_depth = 0;
+      base_jitter = 0.;
+      log = [];
+    }
+  in
+  let eng = Net.engine net in
+  List.iter
+    (fun e -> ignore (Engine.schedule_at eng e.at (fun () -> apply t e.action)))
+    events;
+  t
+
+let random_schedule ~prng ~topo ~start ~until ?(protected = []) ?(events = 8)
+    ?(mean_outage = 8.) () =
+  if until <= start then invalid_arg "Fault.random_schedule: until must exceed start";
+  let n_nodes = Topology.n_nodes topo in
+  let n_links = Topology.n_links topo in
+  let crashable =
+    List.init n_nodes Fun.id |> List.filter (fun u -> not (List.mem u protected))
+  in
+  (* Every injected outage heals before [until], so a post-schedule
+     checkpoint sees the full topology again. *)
+  let duration at =
+    let d = mean_outage *. (0.5 +. Prng.float prng 1.0) in
+    Float.min d (Float.max 0.5 (until -. at -. 0.5))
+  in
+  let rec event_at at =
+    let roll = Prng.float prng 1.0 in
+    if roll < 0.35 then Link_flap (Prng.int prng n_links, duration at)
+    else if roll < 0.60 && crashable <> [] then
+      Node_crash (List.nth crashable (Prng.int prng (List.length crashable)), duration at)
+    else if roll < 0.75 then Loss_burst (0.2 +. Prng.float prng 0.3, duration at)
+    else if roll < 0.90 then Jitter_burst (0.5 +. Prng.float prng 2.0, duration at)
+    else if crashable <> [] then
+      (* Isolate one router briefly: its links are cut, state survives. *)
+      Partition [ List.nth crashable (Prng.int prng (List.length crashable)) ]
+    else event_at at
+  in
+  List.init events (fun _ ->
+      let at = start +. Prng.float prng (until -. start -. 1.0) in
+      match event_at at with
+      | Partition _ as p ->
+        let d = duration at in
+        [ { at; action = p }; { at = at +. d; action = Heal } ]
+      | a -> [ { at; action = a } ])
+  |> List.concat
+  |> List.sort (fun a b -> Float.compare a.at b.at)

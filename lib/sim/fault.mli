@@ -1,0 +1,66 @@
+(** Deterministic fault injection driving {!Net}.
+
+    A schedule is a list of timestamped actions — scripted by a test, or
+    drawn from a seeded PRNG with {!random_schedule} — that the scheduler
+    replays through the event engine: link flaps, node crash/restart,
+    partition/heal, loss bursts, and delay-jitter bursts.  Replaying the
+    same schedule against deployments of different protocols is how the
+    chaos experiment compares their reconvergence behaviour under
+    identical stress (the systematic fault-injection methodology of
+    Helmy/Estrin/Gupta, arXiv cs/0007005).
+
+    Every composite action restores what it broke: flapped links come
+    back, crashed nodes restart (via the [restart] callback, which wipes
+    the router's state — see e.g. [Pim_core.Router.restart]), partitions
+    heal, and loss/jitter bursts end.  A {!random_schedule} additionally
+    guarantees all restorations land before its [until], so a
+    post-schedule checkpoint observes the intact topology. *)
+
+type action =
+  | Link_down of Pim_graph.Topology.link_id
+  | Link_up of Pim_graph.Topology.link_id
+  | Link_flap of Pim_graph.Topology.link_id * float  (** down, restored after the duration *)
+  | Node_crash of Pim_graph.Topology.node * float
+      (** node down for the duration, then brought up and [restart]ed *)
+  | Partition of Pim_graph.Topology.node list
+      (** cut every up link between the set and the rest of the network *)
+  | Heal  (** restore all links cut by partitions so far *)
+  | Loss_burst of float * float  (** loss rate applied for the duration *)
+  | Jitter_burst of float * float  (** delay-jitter amplitude applied for the duration *)
+
+type event = { at : float;  (** absolute virtual time *) action : action }
+
+val pp_action : Format.formatter -> action -> unit
+
+val pp_event : Format.formatter -> event -> unit
+
+type t
+
+val install : ?restart:(Pim_graph.Topology.node -> unit) -> Net.t -> event list -> t
+(** Schedule every event on the net's engine ([at] must not be in the
+    past).  [restart] is invoked when a crashed node comes back up —
+    wire it to the deployment's router-restart so the node reboots with
+    wiped state rather than resuming with stale state. *)
+
+val log : t -> (float * string) list
+(** Human-readable record of every applied action and restoration, in
+    time order — printed when a run fails so the seed can be replayed
+    and understood. *)
+
+val random_schedule :
+  prng:Pim_util.Prng.t ->
+  topo:Pim_graph.Topology.t ->
+  start:float ->
+  until:float ->
+  ?protected:Pim_graph.Topology.node list ->
+  ?events:int ->
+  ?mean_outage:float ->
+  unit ->
+  event list
+(** Draw [events] faults uniformly over [\[start, until)], weighted
+    toward link flaps and node crashes with occasional loss bursts,
+    jitter bursts, and single-node partitions.  [protected] nodes are
+    never crashed or partitioned off (the experiment's receivers and
+    source must survive to measure delivery).  Outage durations average
+    [mean_outage] (default 8 s) and are clamped so everything heals
+    before [until]. *)

@@ -1,5 +1,6 @@
 module Packet = Pim_net.Packet
 module Topology = Pim_graph.Topology
+module Vec = Pim_util.Vec
 
 type host_id = int
 
@@ -12,47 +13,53 @@ type host = {
 type t = {
   eng : Engine.t;
   topo : Topology.t;
-  handlers : (iface:Topology.iface -> Packet.t -> unit) list array;
+  handlers : (iface:Topology.iface -> Packet.t -> unit) Vec.t array;
   link_state : bool array;
   node_state : bool array;
   mutable hosts : host array;
-  mutable link_subs : (Topology.link_id -> bool -> unit) list;
-  mutable deliver_subs : (Topology.link_id -> Packet.t -> unit) list;
+  link_subs : (Topology.link_id -> bool -> unit) Vec.t;
+  deliver_subs : (Topology.link_id -> Packet.t -> unit) Vec.t;
   counts : int array;
+  mutable offered : int;
   mutable loss_rate : float;
   mutable loss_prng : Pim_util.Prng.t;
   mutable loss_filter : Packet.t -> bool;
   mutable dropped : int;
+  mutable jitter : float;
+  mutable jitter_prng : Pim_util.Prng.t;
 }
 
 let create eng topo =
   {
     eng;
     topo;
-    handlers = Array.make (Topology.n_nodes topo) [];
+    handlers = Array.init (Topology.n_nodes topo) (fun _ -> Vec.create ());
     link_state = Array.make (Topology.n_links topo) true;
     node_state = Array.make (Topology.n_nodes topo) true;
     hosts = [||];
-    link_subs = [];
-    deliver_subs = [];
+    link_subs = Vec.create ();
+    deliver_subs = Vec.create ();
     counts = Array.make (Topology.n_links topo) 0;
+    offered = 0;
     loss_rate = 0.;
     loss_prng = Pim_util.Prng.create 0x10ad;
     loss_filter = (fun _ -> true);
     dropped = 0;
+    jitter = 0.;
+    jitter_prng = Pim_util.Prng.create 0x317e;
   }
 
 let engine t = t.eng
 
 let topo t = t.topo
 
-let set_handler t u h = t.handlers.(u) <- t.handlers.(u) @ [ h ]
+let set_handler t u h = Vec.push t.handlers.(u) h
 
 let link_up t lid = t.link_state.(lid)
 
 let node_up t u = t.node_state.(u)
 
-let notify_link t lid up = List.iter (fun f -> f lid up) t.link_subs
+let notify_link t lid up = Vec.iter (fun f -> f lid up) t.link_subs
 
 let set_link_up t lid up =
   if t.link_state.(lid) <> up then begin
@@ -67,13 +74,15 @@ let set_node_up t u up =
     Array.iter (fun (_, lid) -> if t.link_state.(lid) then notify_link t lid up) (Topology.ifaces t.topo u)
   end
 
-let on_link_change t f = t.link_subs <- t.link_subs @ [ f ]
+let on_link_change t f = Vec.push t.link_subs f
 
-let on_deliver t f = t.deliver_subs <- t.deliver_subs @ [ f ]
+let on_deliver t f = Vec.push t.deliver_subs f
 
 let traversals t lid = t.counts.(lid)
 
 let total_traversals t = Array.fold_left ( + ) 0 t.counts
+
+let offered t = t.offered
 
 let hosts_on_link t lid =
   Array.to_list t.hosts |> List.filter (fun h -> h.hlink = lid)
@@ -88,15 +97,26 @@ let loss_rate t = t.loss_rate
 
 let dropped t = t.dropped
 
+let set_jitter t ?prng amplitude =
+  if amplitude < 0. then invalid_arg "Net.set_jitter: amplitude must be >= 0";
+  t.jitter <- amplitude;
+  (match prng with Some p -> t.jitter_prng <- p | None -> ())
+
+let jitter t = t.jitter
+
 let transmit t ~from_node ~lid ~to_node pkt =
-  t.counts.(lid) <- t.counts.(lid) + 1;
-  List.iter (fun f -> f lid pkt) t.deliver_subs;
+  t.offered <- t.offered + 1;
   if t.loss_rate > 0. && t.loss_filter pkt && Pim_util.Prng.float t.loss_prng 1.0 < t.loss_rate
   then t.dropped <- t.dropped + 1
   else
   let link = Topology.link t.topo lid in
   let deliver () =
+    (* The frame only counts as a traversal if the link is still up when
+       propagation completes — a frame in flight on a link that died is
+       lost, and must not inflate the overhead metrics. *)
     if t.link_state.(lid) then begin
+      t.counts.(lid) <- t.counts.(lid) + 1;
+      Vec.iter (fun f -> f lid pkt) t.deliver_subs;
       let routers =
         match to_node with
         | Some v -> if Array.exists (Int.equal v) link.Topology.ends then [ v ] else []
@@ -109,7 +129,7 @@ let transmit t ~from_node ~lid ~to_node pkt =
         (fun v ->
           if t.node_state.(v) then
             let iface = Topology.iface_of_link t.topo v lid in
-            List.iter (fun h -> h ~iface pkt) t.handlers.(v))
+            Vec.iter (fun h -> h ~iface pkt) t.handlers.(v))
         routers;
       (* Hosts only overhear broadcast frames; a host never hears its own
          transmission. *)
@@ -123,7 +143,11 @@ let transmit t ~from_node ~lid ~to_node pkt =
       end
     end
   in
-  ignore (Engine.schedule t.eng ~after:link.Topology.delay deliver)
+  let delay =
+    if t.jitter > 0. then link.Topology.delay +. Pim_util.Prng.float t.jitter_prng t.jitter
+    else link.Topology.delay
+  in
+  ignore (Engine.schedule t.eng ~after:delay deliver)
 
 let send t u ~iface ?to_node pkt =
   if t.node_state.(u) then begin

@@ -72,16 +72,36 @@ val loss_rate : t -> float
 val dropped : t -> int
 (** Transmissions lost to the configured loss rate so far. *)
 
+val set_jitter : t -> ?prng:Pim_util.Prng.t -> float -> unit
+(** Add a uniform extra propagation delay in [0, amplitude) to every
+    subsequent transmission (0 disables, the default).  With jitter on,
+    two frames sent back-to-back on the same link can genuinely arrive
+    out of order — the reordering regime the chaos harness exercises.
+    Deterministic given the PRNG (a fixed-seed one is used when none is
+    supplied). *)
+
+val jitter : t -> float
+
 val on_link_change : t -> (Pim_graph.Topology.link_id -> bool -> unit) -> unit
 (** Subscribe to link up/down transitions (unicast protocols re-converge,
     PIM re-runs its RPF checks — section 3.8). *)
 
 val on_deliver : t -> (Pim_graph.Topology.link_id -> Pim_net.Packet.t -> unit) -> unit
-(** Observe every link traversal (one call per transmission, not per
-    receiver) — the hook the overhead experiments use to count data and
-    control bandwidth per link. *)
+(** Observe every completed link traversal (one call per delivered
+    transmission, not per receiver, at delivery time) — the hook the
+    overhead experiments use to count data and control bandwidth per
+    link, and the oracle uses to detect forwarding loops.  Frames lost
+    to the loss rate or to a mid-flight link failure are not observed. *)
 
 val traversals : t -> Pim_graph.Topology.link_id -> int
-(** Raw transmission count per link since creation. *)
+(** Delivered transmissions per link since creation.  A frame lost to
+    {!set_loss_rate} or to the link going down while it was in flight is
+    not counted — these counters feed the overhead figures, which measure
+    bandwidth actually consumed end to end. *)
 
 val total_traversals : t -> int
+
+val offered : t -> int
+(** Transmission attempts accepted onto some link (before the loss roll),
+    network-wide.  [offered >= total_traversals + dropped]; the remainder
+    is frames that died in flight on a link that went down. *)

@@ -1,0 +1,89 @@
+module Packet = Pim_net.Packet
+module Topology = Pim_graph.Topology
+
+type violation = {
+  time : float;
+  invariant : string;
+  detail : string;
+}
+
+let pp_violation ppf v =
+  Format.fprintf ppf "t=%.2f [%s] %s" v.time v.invariant v.detail
+
+type t = {
+  net : Net.t;
+  probe_id : Packet.t -> int option;
+  mutable max_copies : int;
+  copies : (int * Topology.link_id, int) Hashtbl.t;
+  received : (int, (Topology.node, unit) Hashtbl.t) Hashtbl.t;
+  mutable violations : violation list;  (* newest first *)
+}
+
+let record t ~invariant detail =
+  t.violations <-
+    { time = Engine.now (Net.engine t.net); invariant; detail } :: t.violations
+
+let recordf t ~invariant fmt = Format.kasprintf (record t ~invariant) fmt
+
+let create ?(max_copies = 1) net ~probe_id =
+  let t =
+    {
+      net;
+      probe_id;
+      max_copies;
+      copies = Hashtbl.create 256;
+      received = Hashtbl.create 64;
+      violations = [];
+    }
+  in
+  (* Loop freedom, checked on the wire: no single data packet may
+     traverse one link more than [max_copies] times.  A forwarding loop
+     (or duplicate-delivery bug) shows up here within one packet
+     lifetime, long before any state inspection would catch it. *)
+  Net.on_deliver net (fun lid pkt ->
+      match t.probe_id pkt with
+      | None -> ()
+      | Some probe ->
+        let k = (probe, lid) in
+        let n = 1 + Option.value (Hashtbl.find_opt t.copies k) ~default:0 in
+        Hashtbl.replace t.copies k n;
+        if n = t.max_copies + 1 then
+          recordf t ~invariant:"loop-freedom"
+            "probe %d traversed link %d %d times (max %d) — %s" probe lid n t.max_copies
+            (Packet.payload_to_string pkt.Packet.payload));
+  t
+
+let set_max_copies t n =
+  if n < 1 then invalid_arg "Oracle.set_max_copies";
+  t.max_copies <- n
+
+let reset_probes t =
+  Hashtbl.reset t.copies;
+  Hashtbl.reset t.received
+
+let note_received t ~node ~probe =
+  let tbl =
+    match Hashtbl.find_opt t.received probe with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Hashtbl.create 8 in
+      Hashtbl.replace t.received probe tbl;
+      tbl
+  in
+  Hashtbl.replace tbl node ()
+
+let received_by t ~probe =
+  match Hashtbl.find_opt t.received probe with
+  | None -> []
+  | Some tbl -> Hashtbl.fold (fun u () acc -> u :: acc) tbl [] |> List.sort Int.compare
+
+let run_check t ~invariant f = List.iter (record t ~invariant) (f ())
+
+let violations t = List.rev t.violations
+
+let pp ppf t =
+  match violations t with
+  | [] -> Format.fprintf ppf "no violations"
+  | vs ->
+    Format.fprintf ppf "%d violation(s):@." (List.length vs);
+    List.iter (fun v -> Format.fprintf ppf "  %a@." pp_violation v) vs

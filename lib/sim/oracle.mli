@@ -1,0 +1,70 @@
+(** Global invariant checker for multicast deployments.
+
+    The oracle watches the whole network from outside the protocols: it
+    taps {!Net.on_deliver} to verify {b loop freedom} on every probe
+    packet as it flows, collects per-probe delivery reports so an
+    experiment can assert {b receiver reachability} within a delay
+    bound, and accepts protocol-specific state checks ({!run_check}) for
+    the invariants only the deployment can phrase — stale oifs, iif/RPF
+    consistency, orphaned state.  Violations accumulate with their
+    virtual timestamps; a chaos run fails if any are present.
+
+    The oracle is protocol-agnostic: the caller supplies [probe_id] to
+    say which packets are probes (e.g. native multicast data but not
+    Register/Encap tunnel copies, which legitimately re-traverse
+    links). *)
+
+type violation = {
+  time : float;  (** virtual time the violation was detected *)
+  invariant : string;
+  detail : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type t
+
+val create :
+  ?max_copies:int ->
+  Net.t ->
+  probe_id:(Pim_net.Packet.t -> int option) ->
+  t
+(** Install the on-wire loop-freedom tap: a probe packet traversing any
+    single link more than [max_copies] times (default 1 — correct for
+    point-to-point topologies, where a tree uses each link once) is a
+    violation.  [probe_id] returns a stable identifier (e.g. the data
+    sequence number) for packets subject to tracking, [None] for
+    everything else. *)
+
+val set_max_copies : t -> int -> unit
+(** Adjust the duplication threshold mid-run.  During active churn a
+    packet in flight across an RPF change can legitimately cross one
+    link twice, so an experiment raises the threshold to catch only
+    sustained duplication (a real loop revisits links without bound)
+    and restores the strict bound for quiet-period probes. *)
+
+val reset_probes : t -> unit
+(** Start a new probe epoch: forget per-probe traversal counts and
+    delivery reports (violations are kept).  Call before a measurement
+    burst so earlier traffic — including duplicates that are legitimate
+    during reconvergence, like SPT-switchover overlap — does not bleed
+    into the checked window. *)
+
+val note_received : t -> node:Pim_graph.Topology.node -> probe:int -> unit
+(** Report that [node]'s local member received probe [probe] (wired to
+    the routers' local-data callbacks by the experiment). *)
+
+val received_by : t -> probe:int -> Pim_graph.Topology.node list
+(** Nodes that reported the probe, sorted. *)
+
+val record : t -> invariant:string -> string -> unit
+(** Record a violation found by the caller. *)
+
+val run_check : t -> invariant:string -> (unit -> string list) -> unit
+(** Run a state check returning one detail string per violation found
+    (empty list = invariant holds) and record the results. *)
+
+val violations : t -> violation list
+(** All violations in detection order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create () = { data = [||]; len = 0 }
+
+let length t = t.len
+
+let grow t x =
+  let cap = Array.length t.data in
+  let cap' = if cap = 0 then 4 else 2 * cap in
+  let data' = Array.make cap' x in
+  Array.blit t.data 0 data' 0 t.len;
+  t.data <- data'
+
+let push t x =
+  if t.len = Array.length t.data then grow t x;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get";
+  t.data.(i)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let fold_left f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let to_list t = List.init t.len (fun i -> t.data.(i))
+
+let clear t =
+  t.data <- [||];
+  t.len <- 0

@@ -1,0 +1,29 @@
+(** Growable vector with O(1) amortized append.
+
+    The simulator's subscriber lists ([Net.set_handler],
+    [Net.on_link_change], [Net.on_deliver]) append one callback per
+    router at deployment time; list append ([xs @ [x]]) made
+    registration quadratic in network size.  Iteration order is
+    insertion order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+(** Append at the end (amortized O(1)). *)
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument when out of bounds. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Iterate in insertion order. *)
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val to_list : 'a t -> 'a list
+(** Elements in insertion order. *)
+
+val clear : 'a t -> unit

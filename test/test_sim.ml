@@ -88,6 +88,21 @@ let test_engine_every_self_cancel () =
   Engine.run ~until:10. eng;
   Alcotest.(check int) "self cancel" 3 !count
 
+let test_engine_every_cancel_other () =
+  (* One periodic timer cancels another from inside its own tick — the
+     restart machinery does exactly this when it tears down a router's
+     timers while the engine is mid-dispatch. *)
+  let eng = Engine.create () in
+  let a_count = ref 0 and b_count = ref 0 in
+  let b = Engine.every eng ~start:1.5 ~interval:1. (fun () -> incr b_count) in
+  ignore
+    (Engine.every eng ~interval:1. (fun () ->
+         incr a_count;
+         if !a_count = 2 then Engine.cancel b));
+  Engine.run ~until:6.4 eng;
+  Alcotest.(check int) "canceller keeps running" 6 !a_count;
+  Alcotest.(check int) "cancelled timer stopped mid-run" 1 !b_count
+
 let test_engine_rejects_negative () =
   let eng = Engine.create () in
   Alcotest.check_raises "negative delay" (Invalid_argument "Engine.schedule: negative delay")
@@ -194,6 +209,115 @@ let test_net_node_down () =
   Net.send net 0 ~iface:0 (Packet.unicast ~src:(Addr.router 0) ~dst:(Addr.router 1) ~size:1 raw);
   Engine.run eng;
   Alcotest.(check int) "down node sends nothing" 0 !got
+
+let test_net_node_down_in_flight () =
+  let eng, net = mk_line () in
+  let got = ref 0 in
+  Net.set_handler net 1 (fun ~iface:_ _ -> incr got);
+  Net.send net 0 ~iface:0 (Packet.unicast ~src:(Addr.router 0) ~dst:(Addr.router 1) ~size:1 raw);
+  (* The receiver dies while the packet is on the wire. *)
+  ignore (Engine.schedule eng ~after:0.5 (fun () -> Net.set_node_up net 1 false));
+  Engine.run eng;
+  Alcotest.(check int) "in-flight packet misses dead node" 0 !got
+
+let test_net_node_down_up_cycle () =
+  let eng, net = mk_line () in
+  let got = ref 0 in
+  Net.set_handler net 1 (fun ~iface:_ _ -> incr got);
+  let send () =
+    Net.send net 0 ~iface:0 (Packet.unicast ~src:(Addr.router 0) ~dst:(Addr.router 1) ~size:1 raw)
+  in
+  Net.set_node_up net 1 false;
+  send ();
+  Engine.run eng;
+  Alcotest.(check int) "nothing while down" 0 !got;
+  Net.set_node_up net 1 true;
+  send ();
+  Engine.run eng;
+  (* The handler installed before the outage still serves the revived
+     node — restart wipes protocol state, not the wiring. *)
+  Alcotest.(check int) "handler survives the down/up cycle" 1 !got
+
+let test_net_host_with_dead_router () =
+  let b = Topology.builder 2 in
+  ignore (Topology.add_p2p b 0 1);
+  let stub = Topology.add_lan b [ 0 ] in
+  let topo = Topology.freeze b in
+  let eng = Engine.create () in
+  let net = Net.create eng topo in
+  let host_got = ref 0 and router_got = ref 0 in
+  let h = Net.attach_host net stub ~addr:(Addr.host ~router:0 1) (fun _ -> incr host_got) in
+  Net.set_handler net 0 (fun ~iface:_ _ -> incr router_got);
+  Net.set_node_up net 0 false;
+  (* Host transmissions on the stub LAN go nowhere useful while its only
+     router is dead... *)
+  Net.host_send net h
+    (Packet.unicast ~src:(Addr.host ~router:0 1) ~dst:Addr.all_pim_routers ~size:1 raw);
+  Engine.run eng;
+  Alcotest.(check int) "dead router hears nothing" 0 !router_got;
+  (* ...and service resumes when it comes back. *)
+  Net.set_node_up net 0 true;
+  Net.host_send net h
+    (Packet.unicast ~src:(Addr.host ~router:0 1) ~dst:Addr.all_pim_routers ~size:1 raw);
+  Engine.run eng;
+  Alcotest.(check int) "revived router hears the host" 1 !router_got
+
+let test_net_offered_accounting () =
+  let eng, net = mk_line () in
+  let got = ref 0 in
+  Net.set_handler net 1 (fun ~iface:_ _ -> incr got);
+  Net.set_loss_rate net ~prng:(Pim_util.Prng.create 9) 0.4;
+  for _ = 1 to 100 do
+    Net.send net 0 ~iface:0 (Packet.unicast ~src:(Addr.router 0) ~dst:(Addr.router 1) ~size:1 raw)
+  done;
+  Engine.run eng;
+  Alcotest.(check int) "every attempt offered" 100 (Net.offered net);
+  Alcotest.(check int) "offered = delivered + dropped" (Net.offered net)
+    (Net.total_traversals net + Net.dropped net);
+  Alcotest.(check int) "deliveries observed" !got (Net.total_traversals net);
+  (* A frame that dies in flight is offered but never traverses. *)
+  Net.set_loss_rate net 0.;
+  let offered0 = Net.offered net and traversed0 = Net.total_traversals net in
+  Net.send net 0 ~iface:0 (Packet.unicast ~src:(Addr.router 0) ~dst:(Addr.router 1) ~size:1 raw);
+  ignore (Engine.schedule eng ~after:0.5 (fun () -> Net.set_link_up net 0 false));
+  Engine.run eng;
+  Alcotest.(check int) "in-flight frame offered" (offered0 + 1) (Net.offered net);
+  Alcotest.(check int) "but not traversed" traversed0 (Net.total_traversals net)
+
+let test_net_jitter_reorder () =
+  let eng, net = mk_line () in
+  let order = ref [] in
+  Net.set_handler net 1 (fun ~iface:_ pkt ->
+      match pkt.Packet.payload with Packet.Raw s -> order := s :: !order | _ -> ());
+  Net.set_jitter net ~prng:(Pim_util.Prng.create 5) 3.;
+  Alcotest.(check (float 1e-9)) "amplitude readable" 3. (Net.jitter net);
+  List.iter
+    (fun s ->
+      Net.send net 0 ~iface:0
+        (Packet.unicast ~src:(Addr.router 0) ~dst:(Addr.router 1) ~size:1 (Packet.Raw s)))
+    [ "a"; "b"; "c"; "d"; "e"; "f" ];
+  Engine.run eng;
+  let arrived = List.rev !order in
+  Alcotest.(check int) "all delivered" 6 (List.length arrived);
+  Alcotest.(check (list string))
+    "same frames" [ "a"; "b"; "c"; "d"; "e"; "f" ]
+    (List.sort String.compare arrived);
+  Alcotest.(check bool) "delivery order genuinely inverted somewhere" true
+    (arrived <> [ "a"; "b"; "c"; "d"; "e"; "f" ]);
+  (* Jitter off: FIFO again. *)
+  Net.set_jitter net 0.;
+  order := [];
+  List.iter
+    (fun s ->
+      Net.send net 0 ~iface:0
+        (Packet.unicast ~src:(Addr.router 0) ~dst:(Addr.router 1) ~size:1 (Packet.Raw s)))
+    [ "x"; "y"; "z" ];
+  Engine.run eng;
+  Alcotest.(check (list string)) "order restored without jitter" [ "x"; "y"; "z" ]
+    (List.rev !order);
+  Alcotest.check_raises "amplitude validated"
+    (Invalid_argument "Net.set_jitter: amplitude must be >= 0") (fun () ->
+      Net.set_jitter net (-1.))
 
 let test_net_link_change_notify () =
   let _, net = mk_line () in
@@ -318,6 +442,8 @@ let () =
           Alcotest.test_case "every" `Quick test_engine_every;
           Alcotest.test_case "every with start" `Quick test_engine_every_start;
           Alcotest.test_case "every self-cancel" `Quick test_engine_every_self_cancel;
+          Alcotest.test_case "every cancels another timer mid-tick" `Quick
+            test_engine_every_cancel_other;
           Alcotest.test_case "rejects negative times" `Quick test_engine_rejects_negative;
         ] );
       ( "net",
@@ -329,6 +455,11 @@ let () =
           Alcotest.test_case "link down" `Quick test_net_link_down;
           Alcotest.test_case "link down in flight" `Quick test_net_link_down_in_flight;
           Alcotest.test_case "node down" `Quick test_net_node_down;
+          Alcotest.test_case "node down in flight" `Quick test_net_node_down_in_flight;
+          Alcotest.test_case "node down/up cycle" `Quick test_net_node_down_up_cycle;
+          Alcotest.test_case "host with dead router" `Quick test_net_host_with_dead_router;
+          Alcotest.test_case "offered accounting" `Quick test_net_offered_accounting;
+          Alcotest.test_case "jitter reordering" `Quick test_net_jitter_reorder;
           Alcotest.test_case "link change notify" `Quick test_net_link_change_notify;
           Alcotest.test_case "node change notifies links" `Quick test_net_node_change_notifies_links;
           Alcotest.test_case "hosts" `Quick test_net_hosts;

@@ -2,6 +2,7 @@
    JSON writer. *)
 
 module Prng = Pim_util.Prng
+module Vec = Pim_util.Vec
 module Heap = Pim_util.Heap
 module Ih = Pim_util.Indexed_heap
 module Bitset = Pim_util.Bitset
@@ -440,6 +441,36 @@ let test_stats_summary () =
   Alcotest.check feq "min" 1. s.Stats.min;
   Alcotest.check feq "max" 4. s.Stats.max
 
+(* Vec *)
+
+let test_vec_order_and_growth () =
+  let v = Vec.create () in
+  Alcotest.(check int) "empty" 0 (Vec.length v);
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  (* Push order is iteration order — callback registration relies on it. *)
+  Alcotest.(check (list int)) "to_list preserves push order" (List.init 100 Fun.id)
+    (Vec.to_list v);
+  let seen = ref [] in
+  Vec.iter (fun x -> seen := x :: !seen) v;
+  Alcotest.(check (list int)) "iter order" (List.init 100 Fun.id) (List.rev !seen);
+  Alcotest.(check int) "get" 57 (Vec.get v 57);
+  Alcotest.(check int) "fold" 4950 (Vec.fold_left ( + ) 0 v)
+
+let test_vec_bounds_and_clear () =
+  let v = Vec.create () in
+  Vec.push v "a";
+  Alcotest.check_raises "get out of bounds" (Invalid_argument "Vec.get") (fun () ->
+      ignore (Vec.get v 1));
+  Alcotest.check_raises "get negative" (Invalid_argument "Vec.get") (fun () ->
+      ignore (Vec.get v (-1)));
+  Vec.clear v;
+  Alcotest.(check int) "cleared" 0 (Vec.length v);
+  Vec.push v "b";
+  Alcotest.(check (list string)) "usable after clear" [ "b" ] (Vec.to_list v)
+
 let () =
   Alcotest.run "pim_util"
     [
@@ -459,6 +490,11 @@ let () =
           Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
           Alcotest.test_case "exponential positive" `Quick test_exponential_positive;
           Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "order and growth" `Quick test_vec_order_and_growth;
+          Alcotest.test_case "bounds and clear" `Quick test_vec_bounds_and_clear;
         ] );
       ( "heap",
         [
