@@ -1,0 +1,46 @@
+(* pimlint: determinism & protocol-hygiene static analyzer for the
+   simulator sources.  See lib/check/RULES.md for the rule catalogue,
+   suppression syntax and the baseline ratchet workflow. *)
+
+let usage = "pimlint [--baseline FILE] [--update-baseline] [--warn RULE] [--quiet] PATH..."
+
+let () =
+  let baseline = ref None in
+  let update = ref false in
+  let warn = ref [] in
+  let quiet = ref false in
+  let paths = ref [] in
+  let add_warn s =
+    match Pim_check.Finding.rule_of_id s with
+    | Some r -> warn := r :: !warn
+    | None -> raise (Arg.Bad (Printf.sprintf "unknown rule %S" s))
+  in
+  let spec =
+    [
+      ("--baseline", Arg.String (fun s -> baseline := Some s), "FILE ratchet file of tolerated legacy findings");
+      ("--update-baseline", Arg.Set update, " rewrite the baseline to cover current findings");
+      ("--warn", Arg.String add_warn, "RULE demote RULE (e.g. H4) to a non-fatal warning");
+      ("--quiet", Arg.Set quiet, " only print errors and the final verdict");
+      ( "--rules",
+        Arg.Unit
+          (fun () ->
+            List.iter
+              (fun r ->
+                Printf.printf "%s  %s\n" (Pim_check.Finding.rule_id r)
+                  (Pim_check.Finding.rule_doc r))
+              Pim_check.Finding.all_rules;
+            exit 0),
+        " list the rule ids and exit" );
+    ]
+  in
+  Arg.parse spec (fun p -> paths := p :: !paths) usage;
+  let paths = match List.rev !paths with [] -> [ "lib" ] | ps -> ps in
+  let options =
+    {
+      Pim_check.Lint.baseline_path = !baseline;
+      update_baseline = !update;
+      warn_rules = !warn;
+      quiet = !quiet;
+    }
+  in
+  exit (Pim_check.Lint.run ~options ~paths Format.std_formatter)

@@ -280,6 +280,39 @@ let all_cmd =
     (Cmd.info "all" ~doc:"Run every experiment at reduced trial counts (see EXPERIMENTS.md).")
     Term.(const run $ seed_arg)
 
+let lint_cmd =
+  let run baseline update paths =
+    let paths = if paths = [] then [ "lib" ] else paths in
+    let options =
+      {
+        Pim_check.Lint.baseline_path = baseline;
+        update_baseline = update;
+        warn_rules = [];
+        quiet = false;
+      }
+    in
+    exit (Pim_check.Lint.run ~options ~paths Format.err_formatter)
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:"Baseline file of tolerated legacy findings (ratchet).")
+  in
+  let update =
+    Arg.(
+      value & flag
+      & info [ "update-baseline" ] ~doc:"Rewrite the baseline from the current findings.")
+  in
+  let paths = Arg.(value & pos_all string [] & info [] ~docv:"PATH") in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run pimlint, the determinism and protocol-hygiene static analyzer, over OCaml \
+          sources (defaults to lib/).  See lib/check/RULES.md.")
+    Term.(const run $ baseline $ update $ paths)
+
 let () =
   let info =
     Cmd.info "pimsim" ~version:"1.0.0"
@@ -288,4 +321,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ fig2a_cmd; fig2b_cmd; fig1_cmd; overhead_cmd; failover_cmd; ablation_cmd; refresh_cmd; groups_cmd; aggregation_cmd; churn_cmd; loss_cmd; chaos_cmd; all_cmd ]))
+          [ fig2a_cmd; fig2b_cmd; fig1_cmd; overhead_cmd; failover_cmd; ablation_cmd; refresh_cmd; groups_cmd; aggregation_cmd; churn_cmd; loss_cmd; chaos_cmd; all_cmd; lint_cmd ]))

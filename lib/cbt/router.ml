@@ -101,7 +101,7 @@ type t = {
   trace : Trace.t option;
   entries : (Group.t, entry) Hashtbl.t;
   stats : stats;
-  mutable local_cbs : (Packet.t -> unit) list;
+  local_cbs : (Packet.t -> unit) Pim_util.Vec.t;
   mutable local_seq : int;
   (* Groups with directly-connected members, remembered outside [entries]
      so a restart (which wipes them) can rejoin each tree. *)
@@ -264,7 +264,7 @@ let handle_quit t ~iface (b : body) =
 
 let local_deliver t pkt =
   t.stats.data_delivered_local <- t.stats.data_delivered_local + 1;
-  List.iter (fun f -> f pkt) t.local_cbs
+  Pim_util.Vec.iter (fun f -> f pkt) t.local_cbs
 
 let forward_on_tree t (e : entry) ~exclude pkt =
   match Packet.decr_ttl pkt with
@@ -340,7 +340,7 @@ let leave_local t g =
   t.local_joined <- List.filter (fun g' -> not (Group.equal g g')) t.local_joined;
   match Hashtbl.find_opt t.entries g with Some e -> e.local <- false | None -> ()
 
-let on_local_data t f = t.local_cbs <- t.local_cbs @ [ f ]
+let on_local_data t f = Pim_util.Vec.push t.local_cbs f
 
 let local_source_addr t = Addr.host ~router:t.node 1
 
@@ -365,9 +365,16 @@ let restart t =
 
 (* {1 Timers} *)
 
+(* Entries in canonical group order, so per-tick protocol actions (echo
+   probes, join retransmits, quits) fire in an order independent of
+   hash-bucket layout. *)
+let sorted_entries t =
+  Hashtbl.fold (fun g e acc -> (g, e) :: acc) t.entries []
+  |> List.sort (fun (g, _) (g', _) -> Group.compare g g')
+
 let tick t =
-  Hashtbl.iter
-    (fun _ (e : entry) ->
+  List.iter
+    (fun (_, (e : entry)) ->
       if e.confirmed && not (is_core t e) then begin
         match e.parent with
         | Some (iface, up) ->
@@ -381,20 +388,23 @@ let tick t =
            JOIN-REQUEST or JOIN-ACK must be retransmitted, there is no
            periodic refresh to fall back on. *)
         send_join t e)
-    t.entries;
+    (sorted_entries t);
   (* Age out children and flush on silent parents. *)
   let n = now t in
   let doomed = ref [] in
-  Hashtbl.iter
-    (fun g (e : entry) ->
-      let dead = Hashtbl.fold (fun i exp acc -> if exp <= n then i :: acc else acc) e.children [] in
+  List.iter
+    (fun (g, (e : entry)) ->
+      let dead =
+        Hashtbl.fold (fun i exp acc -> if exp <= n then i :: acc else acc) e.children []
+        |> List.sort Int.compare
+      in
       List.iter (Hashtbl.remove e.children) dead;
       if e.confirmed && (not (is_core t e)) && e.parent_deadline < n then doomed := `Flush e :: !doomed
       else if
         e.confirmed && (not (is_core t e)) && (not e.local)
         && Hashtbl.length e.children = 0 && e.pending = []
       then doomed := `Quit (g, e) :: !doomed)
-    t.entries;
+    (sorted_entries t);
   List.iter
     (function
       | `Flush e -> flush t e
@@ -442,7 +452,7 @@ let create ?(config = default_config) ?trace ~net ~rib ~core_of node =
       trace;
       entries = Hashtbl.create 16;
       stats = fresh_stats ();
-      local_cbs = [];
+      local_cbs = Pim_util.Vec.create ();
       local_seq = 0;
       local_joined = [];
     }

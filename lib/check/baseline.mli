@@ -1,0 +1,22 @@
+(** Per-(rule, file) finding-count ratchet.  Legacy findings recorded
+    here are tolerated; anything beyond the recorded count fails. *)
+
+type t
+
+val empty : unit -> t
+
+val load : string -> t
+(** Missing file loads as an empty baseline.
+    @raise Failure on a malformed line. *)
+
+val save : t -> string -> unit
+(** Write counts sorted by (file, rule), with an explanatory header. *)
+
+val counts : Finding.t list -> t
+(** Baseline that exactly covers [findings] (used by [--update-baseline]). *)
+
+val allowance : t -> rule:Finding.rule -> file:string -> int
+
+val apply : t -> Finding.t list -> Finding.t list * Finding.t list
+(** [apply t findings] is [(overflow, grandfathered)]: findings beyond
+    each (rule, file) allowance, and findings covered by it. *)

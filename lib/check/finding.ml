@@ -1,0 +1,56 @@
+type rule = D1 | D2 | H1 | H2 | H3 | H4
+
+let all_rules = [ D1; D2; H1; H2; H3; H4 ]
+
+let rule_id = function
+  | D1 -> "D1"
+  | D2 -> "D2"
+  | H1 -> "H1"
+  | H2 -> "H2"
+  | H3 -> "H3"
+  | H4 -> "H4"
+
+let rule_of_id = function
+  | "D1" -> Some D1
+  | "D2" -> Some D2
+  | "H1" -> Some H1
+  | "H2" -> Some H2
+  | "H3" -> Some H3
+  | "H4" -> Some H4
+  | _ -> None
+
+let rule_doc = function
+  | D1 -> "unordered Hashtbl traversal whose result escapes"
+  | D2 -> "randomness source other than Pim_util.Prng"
+  | H1 -> "polymorphic compare"
+  | H2 -> "float equality / physical equality on boxed values"
+  | H3 -> "catch-all exception handler"
+  | H4 -> "list append in a loop (quadratic growth)"
+
+type severity = Error | Warning
+
+(* Every rule defaults to a build-failing error; the driver can demote
+   individual rules to warnings (reported, never fatal). *)
+let default_severity (_ : rule) = Error
+
+type t = {
+  rule : rule;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+    match Int.compare a.line b.line with
+    | 0 -> (
+      match Int.compare a.col b.col with
+      | 0 -> String.compare (rule_id a.rule) (rule_id b.rule)
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+let pp ppf f =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s" f.file f.line f.col (rule_id f.rule) f.message

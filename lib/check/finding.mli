@@ -1,0 +1,31 @@
+(** Rule identifiers, severities and the finding record shared by the
+    [pimlint] rule engine, baseline and drivers.  See [RULES.md] for the
+    rationale behind each rule. *)
+
+type rule = D1 | D2 | H1 | H2 | H3 | H4
+
+val all_rules : rule list
+
+val rule_id : rule -> string
+
+val rule_of_id : string -> rule option
+
+val rule_doc : rule -> string
+(** One-line summary used in [--help] style listings. *)
+
+type severity = Error | Warning
+
+val default_severity : rule -> severity
+
+type t = {
+  rule : rule;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+val compare : t -> t -> int
+(** Canonical (file, line, col, rule) ordering, so reports are stable. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,110 @@
+(* Driver: expand paths to .ml files, parse each with compiler-libs,
+   run the rule engine, drop suppressed findings, apply the baseline
+   ratchet and report.  The linter itself must be deterministic: files
+   are visited in sorted order and findings are reported in canonical
+   order. *)
+
+type options = {
+  baseline_path : string option;
+  update_baseline : bool;
+  warn_rules : Finding.rule list;  (* demoted: reported, never fatal *)
+  quiet : bool;
+}
+
+let default_options =
+  { baseline_path = None; update_baseline = false; warn_rules = []; quiet = false }
+
+let is_ml_file path = Filename.check_suffix path ".ml"
+
+let rec walk acc path =
+  if Sys.is_directory path then
+    Sys.readdir path
+    |> Array.to_list
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           if name = "_build" || name = ".git" then acc
+           else walk acc (Filename.concat path name))
+         acc
+  else if is_ml_file path then path :: acc
+  else acc
+
+let expand paths =
+  List.fold_left walk [] paths |> List.sort_uniq String.compare
+
+exception Parse_failure of string * string  (* file, message *)
+
+let parse_file path =
+  try Pparse.parse_implementation ~tool_name:"pimlint" path
+  with exn ->
+    let msg =
+      match Location.error_of_exn exn with
+      | Some (`Ok e) -> Format.asprintf "%a" Location.print_report e
+      | _ -> Printexc.to_string exn
+    in
+    raise (Parse_failure (path, msg))
+
+let lint_file path =
+  let structure = parse_file path in
+  let suppressions = Suppress.scan_file path in
+  Rules.check ~file:path structure
+  |> List.filter (fun (f : Finding.t) -> not (Suppress.allows suppressions ~line:f.line f.rule))
+
+let lint_paths paths = List.concat_map lint_file (expand paths)
+
+let severity opts (f : Finding.t) =
+  if List.mem f.rule opts.warn_rules then Finding.Warning else Finding.default_severity f.rule
+
+(* Returns the process exit code: 0 clean (or fully baselined), 1 when
+   non-baselined error findings exist, 2 on parse/IO failure. *)
+let run ?(options = default_options) ~paths ppf =
+  match lint_paths paths with
+  | exception Parse_failure (file, msg) ->
+    Format.fprintf ppf "pimlint: cannot parse %s:@.%s@." file msg;
+    2
+  | exception Sys_error msg ->
+    Format.fprintf ppf "pimlint: %s@." msg;
+    2
+  | findings ->
+    let baseline =
+      match options.baseline_path with
+      | Some p when not options.update_baseline -> Baseline.load p
+      | _ -> Baseline.empty ()
+    in
+    if options.update_baseline then begin
+      match options.baseline_path with
+      | None ->
+        Format.fprintf ppf "pimlint: --update-baseline requires --baseline PATH@.";
+        2
+      | Some p ->
+        Baseline.save (Baseline.counts findings) p;
+        Format.fprintf ppf "pimlint: baseline of %d finding(s) written to %s@."
+          (List.length findings) p;
+        0
+    end
+    else begin
+      let overflow, grandfathered = Baseline.apply baseline findings in
+      let errors, warnings =
+        List.partition (fun f -> severity options f = Finding.Error) overflow
+      in
+      if not options.quiet then begin
+        List.iter (fun f -> Format.fprintf ppf "warning: %a@." Finding.pp f) warnings;
+        List.iter (fun f -> Format.fprintf ppf "error: %a@." Finding.pp f) errors;
+        if grandfathered <> [] then
+          Format.fprintf ppf
+            "pimlint: %d baselined legacy finding(s) tolerated — ratchet down when \
+             possible@."
+            (List.length grandfathered)
+      end;
+      if errors = [] then begin
+        if not options.quiet then
+          Format.fprintf ppf "pimlint: OK (%d file(s), %d warning(s), %d baselined)@."
+            (List.length (expand paths))
+            (List.length warnings) (List.length grandfathered);
+        0
+      end
+      else begin
+        Format.fprintf ppf "pimlint: %d error(s)@." (List.length errors);
+        1
+      end
+    end

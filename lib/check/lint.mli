@@ -1,0 +1,26 @@
+(** pimlint driver: parse every [.ml] under the given paths with
+    compiler-libs, run {!Rules}, apply {!Suppress} comments and the
+    {!Baseline} ratchet, and report. *)
+
+type options = {
+  baseline_path : string option;
+  update_baseline : bool;
+  warn_rules : Finding.rule list;
+      (** Rules demoted to warnings: reported but never fatal. *)
+  quiet : bool;
+}
+
+val default_options : options
+
+exception Parse_failure of string * string
+
+val lint_file : string -> Finding.t list
+(** Findings for one file, suppression comments applied, no baseline.
+    @raise Parse_failure when the file does not parse. *)
+
+val lint_paths : string list -> Finding.t list
+(** [lint_file] over every [.ml] under the paths, in sorted file order. *)
+
+val run : ?options:options -> paths:string list -> Format.formatter -> int
+(** Full run; returns the intended process exit code (0 clean or fully
+    baselined, 1 non-baselined errors, 2 parse/IO failure). *)

@@ -1,0 +1,80 @@
+(* Suppression comments: [(* pimlint: allow D1 *)] (several rules may be
+   listed, comma- or space-separated).  A suppression covers findings on
+   its own line and on the following line, so both trailing and
+   line-above placement work:
+
+     Hashtbl.iter f tbl (* pimlint: allow D1 *)
+
+     (* pimlint: allow D1 — in-place update, order-independent *)
+     Hashtbl.iter f tbl
+
+   Matching is purely lexical on the source text, which keeps it robust
+   to how the parser attaches (or drops) comments. *)
+
+type t = (int, Finding.rule list) Hashtbl.t
+
+let marker = "pimlint: allow"
+
+(* Parse the rule ids following [marker] in [line]; stop at the first
+   token that is not a rule id or separator. *)
+let rules_after line idx =
+  let n = String.length line in
+  let rec skip_sep i =
+    if i < n && (line.[i] = ' ' || line.[i] = ',' || line.[i] = '\t') then skip_sep (i + 1)
+    else i
+  in
+  let rec collect i acc =
+    let i = skip_sep i in
+    if i + 1 < n then
+      match Finding.rule_of_id (String.sub line i 2) with
+      | Some r -> collect (i + 2) (r :: acc)
+      | None -> acc
+    else acc
+  in
+  collect (idx + String.length marker) []
+
+let index_of_sub line sub =
+  let n = String.length line and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub line i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let scan_lines lines =
+  let t : t = Hashtbl.create 8 in
+  List.iteri
+    (fun i line ->
+      match index_of_sub line marker with
+      | None -> ()
+      | Some idx -> (
+        match rules_after line idx with
+        | [] -> ()
+        | rules ->
+          let lineno = i + 1 in
+          let add l =
+            let cur = Option.value (Hashtbl.find_opt t l) ~default:[] in
+            Hashtbl.replace t l (List.rev_append rules cur)
+          in
+          add lineno;
+          add (lineno + 1)))
+    lines;
+  t
+
+let scan_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      scan_lines (go []))
+
+let allows t ~line rule =
+  match Hashtbl.find_opt t line with
+  | Some rules -> List.mem rule rules
+  | None -> false

@@ -1,0 +1,11 @@
+(** Lexical scan for [(* pimlint: allow <rule>... *)] suppression
+    comments.  A suppression covers its own line and the next one. *)
+
+type t
+
+val scan_file : string -> t
+
+val scan_lines : string list -> t
+(** Exposed for tests: line numbering starts at 1. *)
+
+val allows : t -> line:int -> Finding.rule -> bool

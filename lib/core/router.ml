@@ -74,7 +74,7 @@ type t = {
   auxes : (key, aux) Hashtbl.t;
   spt_counters : (key, int ref * float ref) Hashtbl.t;
   stats : stats;
-  mutable local_cbs : (Packet.t -> unit) list;
+  local_cbs : (Packet.t -> unit) Pim_util.Vec.t;
   mutable local_seq : int;
   mutable proxy_ifaces : Topology.iface list;
   (* Directly-connected memberships, remembered outside the FIB so that a
@@ -149,6 +149,7 @@ let pruned_mask t e =
   let a = aux t e in
   let n = now t in
   Hashtbl.fold (fun i exp acc -> if exp > n then i :: acc else acc) a.pruned []
+  |> List.sort Int.compare
 
 (* Effective outgoing-interface list for a data packet matching [e]:
    SPT entries inherit the shared-tree interfaces (so receivers that stayed
@@ -282,9 +283,9 @@ let delete_entry t (e : Fwd.entry) =
 
 let local_deliver t pkt =
   t.stats.data_delivered_local <- t.stats.data_delivered_local + 1;
-  List.iter (fun f -> f pkt) t.local_cbs
+  Pim_util.Vec.iter (fun f -> f pkt) t.local_cbs
 
-let on_local_data t f = t.local_cbs <- t.local_cbs @ [ f ]
+let on_local_data t f = Pim_util.Vec.push t.local_cbs f
 
 let add_local_member t g ~iface =
   match select_rp t g with
@@ -834,6 +835,25 @@ let update_rpf t =
 
 (* {1 Periodic soft-state machinery (sections 3.4, 3.6)} *)
 
+(* Canonical order for join/prune entries inside a message section, so
+   bundles serialize identically regardless of hash layout. *)
+let compare_jp_entry (a : Message.jp_entry) (b : Message.jp_entry) =
+  match Addr.compare a.Message.addr b.Message.addr with
+  | 0 -> (
+    match Int.compare a.Message.plen b.Message.plen with
+    | 0 -> (
+      match Bool.compare a.Message.wc b.Message.wc with
+      | 0 -> Bool.compare a.Message.rp b.Message.rp
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+(* Bindings of [tbl] sorted by [cmp] on the key — a deterministic
+   iteration snapshot for tables whose visit order escapes into
+   protocol messages. *)
+let sorted_bindings cmp tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort (fun (k, _) (k', _) -> cmp k k')
+
 let periodic_refresh t =
   (* Per-group sections, bucketed by upstream neighbor; all of a neighbor's
      sections leave in one bundled message (section 4's message-size
@@ -927,14 +947,20 @@ let periodic_refresh t =
             Message.jp_entry ~plen:24 (Pim_net.Prefix.network p) :: acc
           | [] -> acc)
         by_prefix rest
+      |> List.sort compare_jp_entry
     end
   in
   (* Regroup by upstream and emit one bundle per neighbor. *)
   let per_upstream : (Topology.iface * Topology.node, Message.join_prune list ref) Hashtbl.t =
     Hashtbl.create 8
   in
-  Hashtbl.iter
-    (fun (iface, up, g) (joins, prunes) ->
+  let compare_bucket_key (i, u, g) (i', u', g') =
+    match Int.compare i i' with
+    | 0 -> ( match Int.compare u u' with 0 -> Group.compare g g' | c -> c)
+    | c -> c
+  in
+  List.iter
+    (fun ((iface, up, g), (joins, prunes)) ->
       let joins = ref (aggregate !joins) in
       if !joins <> [] || !prunes <> [] then begin
         let sections =
@@ -956,9 +982,12 @@ let periodic_refresh t =
           }
           :: !sections
       end)
-    buckets;
-  Hashtbl.iter
-    (fun (iface, _) sections ->
+    (sorted_bindings compare_bucket_key buckets);
+  let compare_upstream_key (i, u) (i', u') =
+    match Int.compare i i' with 0 -> Int.compare u u' | c -> c
+  in
+  List.iter
+    (fun ((iface, _), sections) ->
       t.stats.jp_msgs_sent <- t.stats.jp_msgs_sent + 1;
       List.iter
         (fun (m : Message.join_prune) ->
@@ -966,7 +995,7 @@ let periodic_refresh t =
           t.stats.prunes_sent <- t.stats.prunes_sent + List.length m.Message.prunes)
         !sections;
       Net.send t.net t.node ~iface (Message.bundle_packet ~src:t.addr !sections))
-    per_upstream
+    (sorted_bindings compare_upstream_key per_upstream)
 
 let sweep t =
   let n = now t in
@@ -975,7 +1004,10 @@ let sweep t =
       let a = aux t e in
       (* Expired shared-tree prune masks grow back (section 1.1 style
          soft state). *)
-      let dead_masks = Hashtbl.fold (fun i exp acc -> if exp <= n then i :: acc else acc) a.pruned [] in
+      let dead_masks =
+        Hashtbl.fold (fun i exp acc -> if exp <= n then i :: acc else acc) a.pruned []
+        |> List.sort Int.compare
+      in
       List.iter (Hashtbl.remove a.pruned) dead_masks;
       (* Directly connected members are authoritative: their presence keeps
          the entry alive without downstream joins (section 3.1). *)
@@ -1039,7 +1071,7 @@ let create ?(config = Config.default) ?igmp_config ?trace ~net ~rib ~rp_set node
       auxes = Hashtbl.create 32;
       spt_counters = Hashtbl.create 8;
       stats = fresh_stats ();
-      local_cbs = [];
+      local_cbs = Pim_util.Vec.create ();
       local_seq = 0;
       proxy_ifaces = [];
       local_members = [];

@@ -109,11 +109,11 @@ type t = {
   auxes : (key, aux) Hashtbl.t;
   stats : stats;
   mutable local_groups : GroupSet.t;
-  mutable local_cbs : (Packet.t -> unit) list;
+  local_cbs : (Packet.t -> unit) Pim_util.Vec.t;
   mutable local_seq : int;
   region_db : (Topology.node, int * GroupSet.t * float) Hashtbl.t;  (* seq, groups, expiry *)
   mutable advert_seq : int;
-  mutable region_cbs : (Group.t -> bool -> unit) list;
+  region_cbs : (Group.t -> bool -> unit) Pim_util.Vec.t;
   mutable region_reported : GroupSet.t;  (* presence last told to subscribers *)
 }
 
@@ -195,7 +195,7 @@ let broadcast_olist t (e : Fwd.entry) ~exclude src g =
 
 let local_deliver t pkt =
   t.stats.data_delivered_local <- t.stats.data_delivered_local + 1;
-  List.iter (fun f -> f pkt) t.local_cbs
+  Pim_util.Vec.iter (fun f -> f pkt) t.local_cbs
 
 let forward_data t pkt ~olist =
   match Packet.decr_ttl pkt with
@@ -385,22 +385,22 @@ let region_presence_snapshot t =
 
 let region_has_member t g = GroupSet.mem g (region_presence_snapshot t)
 
-let on_region_change t f = t.region_cbs <- t.region_cbs @ [ f ]
+let on_region_change t f = Pim_util.Vec.push t.region_cbs f
 
 (* Report to subscribers every group whose region-wide presence differs
    from what was last reported.  Presence is time-dependent (adverts
    expire), so this also runs from the periodic sweep. *)
 let sync_presence t =
-  if t.region_cbs <> [] then begin
+  if Pim_util.Vec.length t.region_cbs > 0 then begin
     let current = region_presence_snapshot t in
     GroupSet.iter
       (fun g ->
         if not (GroupSet.mem g t.region_reported) then
-          List.iter (fun cb -> cb g true) t.region_cbs)
+          Pim_util.Vec.iter (fun cb -> cb g true) t.region_cbs)
       current;
     GroupSet.iter
       (fun g ->
-        if not (GroupSet.mem g current) then List.iter (fun cb -> cb g false) t.region_cbs)
+        if not (GroupSet.mem g current) then Pim_util.Vec.iter (fun cb -> cb g false) t.region_cbs)
       t.region_reported;
     t.region_reported <- current
   end
@@ -478,7 +478,7 @@ let leave_local t g =
     originate_advert t
   end
 
-let on_local_data t f = t.local_cbs <- t.local_cbs @ [ f ]
+let on_local_data t f = Pim_util.Vec.push t.local_cbs f
 
 let local_source_addr t = Addr.host ~router:t.node 1
 
@@ -507,7 +507,10 @@ let sweep t =
   List.iter
     (fun (e : Fwd.entry) ->
       let a = aux t e in
-      let dead = Hashtbl.fold (fun i exp acc -> if exp <= n then i :: acc else acc) a.pruned [] in
+      let dead =
+        Hashtbl.fold (fun i exp acc -> if exp <= n then i :: acc else acc) a.pruned []
+        |> List.sort Int.compare
+      in
       List.iter (Hashtbl.remove a.pruned) dead;
       if e.Fwd.expires < n then begin
         tr t "entry-del" "%a" Fwd.pp_entry e;
@@ -572,11 +575,11 @@ let create ?(config = default_config) ?igmp_config ?trace ~net ~rib ~neighbor_ri
           joins_sent = 0;
         };
       local_groups = GroupSet.empty;
-      local_cbs = [];
+      local_cbs = Pim_util.Vec.create ();
       local_seq = 0;
       region_db = Hashtbl.create 16;
       advert_seq = 0;
-      region_cbs = [];
+      region_cbs = Pim_util.Vec.create ();
       region_reported = GroupSet.empty;
     }
   in
@@ -607,6 +610,7 @@ let create ?(config = default_config) ?igmp_config ?trace ~net ~rib ~neighbor_ri
              Hashtbl.fold
                (fun o (_, _, exp) acc -> if exp <= n then o :: acc else acc)
                t.region_db []
+             |> List.sort Int.compare
            in
            List.iter (Hashtbl.remove t.region_db) dead;
            sync_presence t

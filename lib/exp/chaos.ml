@@ -485,6 +485,8 @@ let run ?(nodes = 30) ?(degree = 4.) ?(receivers = 5) ?(events = 8) ?(fault_wind
       ~protected:(source :: members) ~events ~mean_outage ()
   in
   let go build = run_protocol ~topo ~schedule ~fault_end ~members ~build in
+  (* Canonical report order: the fixed protocol list below — the report
+     row order is part of the byte-identical reproducibility contract. *)
   let rows =
     [
       go (pim_setup ~rp ~source);

@@ -63,7 +63,7 @@ let one_timeout ~seed:_ rp_timeout =
   send_loop 10.;
   ignore (Engine.schedule_at eng crash_at (fun () -> Net.set_node_up net rp_primary false));
   Engine.run ~until:(stop_at +. 10.) eng;
-  let times = List.sort compare !arrivals in
+  let times = List.sort Float.compare !arrivals in
   (* Largest inter-arrival gap once delivery is established. *)
   let rec max_gap acc = function
     | a :: (b :: _ as rest) -> max_gap (Float.max acc (b -. a)) rest

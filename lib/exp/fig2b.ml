@@ -228,6 +228,9 @@ let run ?(nodes = 50) ?(groups = 300) ?(members = 40) ?(senders = 32) ?(trials =
         trials;
       })
     degrees
+  (* Canonical report order: ascending degree, independent of how the
+     caller ordered the sweep list. *)
+  |> List.stable_sort (fun a b -> Float.compare a.degree b.degree)
 
 let pp_rows ppf rows =
   Format.fprintf ppf "# Figure 2(b): max traffic flows on any link (300 groups, 40 members, 32 senders)@.";

@@ -147,6 +147,10 @@ let run ?(nodes = 50) ?(degree = 4.) ?(packets = 30) ?(interval = 1.)
         go "MOSPF" mospf_setup;
       ])
     fractions
+  (* Canonical report order: ascending fraction, protocols in the fixed
+     order above within each fraction (stable sort), independent of how
+     the caller ordered the sweep list. *)
+  |> List.stable_sort (fun a b -> Float.compare a.fraction b.fraction)
 
 let pp_rows ppf rows =
   Format.fprintf ppf

@@ -16,7 +16,7 @@ type t = {
   mutable hid : Net.host_id option;
   mutable groups : GroupSet.t;
   mutable pending : GroupSet.t;  (* reports scheduled but not yet sent *)
-  mutable data_cbs : (Packet.t -> unit) list;
+  data_cbs : (Packet.t -> unit) Pim_util.Vec.t;
   mutable seq : int;
   mutable sent : int;
 }
@@ -54,7 +54,7 @@ let handle_packet t pkt =
   | Pim_mcast.Mdata.Data _ -> (
     match pkt.Packet.dst with
     | Packet.Multicast g when GroupSet.mem g t.groups ->
-      List.iter (fun f -> f pkt) t.data_cbs
+      Pim_util.Vec.iter (fun f -> f pkt) t.data_cbs
     | _ -> ())
   | _ -> ()
 
@@ -71,7 +71,7 @@ let create ?seed ?(unsolicited = true) ?(rps_for = fun _ -> []) net ~link ~addr 
       hid = None;
       groups = GroupSet.empty;
       pending = GroupSet.empty;
-      data_cbs = [];
+      data_cbs = Pim_util.Vec.create ();
       seq = 0;
       sent = 0;
     }
@@ -91,7 +91,7 @@ let leave t g = t.groups <- GroupSet.remove g t.groups
 
 let member_of t g = GroupSet.mem g t.groups
 
-let on_data t f = t.data_cbs <- t.data_cbs @ [ f ]
+let on_data t f = Pim_util.Vec.push t.data_cbs f
 
 let send_data t ~group ?size () =
   let pkt =

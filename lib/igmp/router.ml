@@ -20,8 +20,8 @@ type t = {
   cfg : config;
   members : (Topology.iface * Group.t, float) Hashtbl.t;  (* expiry *)
   rp_hints : (Group.t, Addr.t list) Hashtbl.t;
-  mutable join_cbs : (iface:Topology.iface -> Group.t -> unit) list;
-  mutable leave_cbs : (iface:Topology.iface -> Group.t -> unit) list;
+  join_cbs : (iface:Topology.iface -> Group.t -> unit) Pim_util.Vec.t;
+  leave_cbs : (iface:Topology.iface -> Group.t -> unit) Pim_util.Vec.t;
 }
 
 let hold_time cfg = (float_of_int cfg.robustness *. cfg.query_interval) +. cfg.max_resp
@@ -44,15 +44,19 @@ let send_queries t =
       end)
     (Topology.ifaces (Net.topo t.net) t.node)
 
+let compare_membership (i, g) (i', g') =
+  match Int.compare i i' with 0 -> Group.compare g g' | c -> c
+
 let sweep t =
   let now = Engine.now t.eng in
   let dead =
     Hashtbl.fold (fun k exp acc -> if exp < now then k :: acc else acc) t.members []
+    |> List.sort compare_membership
   in
   List.iter
     (fun ((iface, g) as k) ->
       Hashtbl.remove t.members k;
-      List.iter (fun f -> f ~iface g) t.leave_cbs)
+      Pim_util.Vec.iter (fun f -> f ~iface g) t.leave_cbs)
     dead
 
 let handle_report t ~iface (r : Message.report) =
@@ -60,7 +64,7 @@ let handle_report t ~iface (r : Message.report) =
   let fresh = not (Hashtbl.mem t.members (iface, g)) in
   Hashtbl.replace t.members (iface, g) (Engine.now t.eng +. hold_time t.cfg);
   if r.Message.rps <> [] then Hashtbl.replace t.rp_hints g r.Message.rps;
-  if fresh then List.iter (fun f -> f ~iface g) t.join_cbs
+  if fresh then Pim_util.Vec.iter (fun f -> f ~iface g) t.join_cbs
 
 let handle_packet t ~iface pkt =
   match pkt.Packet.payload with
@@ -79,8 +83,8 @@ let create ?(config = default_config) net ~node =
       cfg = config;
       members = Hashtbl.create 16;
       rp_hints = Hashtbl.create 8;
-      join_cbs = [];
-      leave_cbs = [];
+      join_cbs = Pim_util.Vec.create ();
+      leave_cbs = Pim_util.Vec.create ();
     }
   in
   (* First query almost immediately so simulations converge fast; stagger
@@ -104,6 +108,6 @@ let groups t =
 
 let rp_hint t g = Option.value (Hashtbl.find_opt t.rp_hints g) ~default:[]
 
-let on_join t f = t.join_cbs <- t.join_cbs @ [ f ]
+let on_join t f = Pim_util.Vec.push t.join_cbs f
 
-let on_leave t f = t.leave_cbs <- t.leave_cbs @ [ f ]
+let on_leave t f = Pim_util.Vec.push t.leave_cbs f

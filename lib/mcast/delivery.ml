@@ -35,6 +35,7 @@ let copies t ~group ~src ~seq ~receiver =
 
 let delays t =
   Hashtbl.fold (fun _ c acc -> List.rev_append (List.map (fun r -> r.delay) !c) acc) t.tbl []
+  |> List.sort Float.compare
 
 let delay_of t ~group ~src ~seq ~receiver =
   find t ~group ~src ~seq

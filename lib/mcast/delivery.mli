@@ -25,7 +25,7 @@ val copies : t -> group:Pim_net.Group.t -> src:Pim_net.Addr.t -> seq:int -> rece
 (** How many copies the receiver got (1 = no duplicates). *)
 
 val delays : t -> float list
-(** All recorded end-to-end delays. *)
+(** All recorded end-to-end delays, sorted ascending (canonical order). *)
 
 val delay_of : t -> group:Pim_net.Group.t -> src:Pim_net.Addr.t -> seq:int -> receiver:int -> float option
 (** Delay of the first copy. *)

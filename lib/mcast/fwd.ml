@@ -116,28 +116,22 @@ let insert t e =
 
 let remove t g s = Hashtbl.remove t.tbl (g, s)
 
-let entries t = Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl []
+(* Canonical (group, source) order, with the "(*,G)" entry ahead of its
+   (S,G) siblings.  [entries] sorts with it so that every consumer —
+   sweeps, periodic refresh, invariant checks — visits the table in an
+   order independent of hash-bucket layout. *)
+let compare_entry a b =
+  match Group.compare a.group b.group with
+  | 0 -> Option.compare Addr.compare a.source b.source
+  | c -> c
 
-let group_entries t g =
-  entries t
-  |> List.filter (fun e -> Group.equal e.group g)
-  |> List.sort (fun a b ->
-         match (a.source, b.source) with
-         | None, None -> 0
-         | None, Some _ -> -1
-         | Some _, None -> 1
-         | Some x, Some y -> Addr.compare x y)
+let entries t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl [] |> List.sort compare_entry
+
+let group_entries t g = entries t |> List.filter (fun e -> Group.equal e.group g)
 
 let count t = Hashtbl.length t.tbl
 
 let clear t = Hashtbl.reset t.tbl
 
-let pp ppf t =
-  let sorted =
-    entries t
-    |> List.sort (fun a b ->
-           match Group.compare a.group b.group with
-           | 0 -> compare a.source b.source
-           | c -> c)
-  in
-  List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) sorted
+let pp ppf t = List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) (entries t)

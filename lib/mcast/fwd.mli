@@ -89,7 +89,12 @@ val insert : t -> entry -> unit
 
 val remove : t -> Pim_net.Group.t -> Pim_net.Addr.t option -> unit
 
+val compare_entry : entry -> entry -> int
+(** Canonical (group, source) order; "(*,G)" sorts before its (S,G)s. *)
+
 val entries : t -> entry list
+(** All entries in {!compare_entry} order, so traversal-driven protocol
+    actions (sweeps, refreshes) are independent of hash layout. *)
 
 val group_entries : t -> Pim_net.Group.t -> entry list
 (** All entries of a group: the "(*,G)" first if present, then (S,G)s in

@@ -61,7 +61,7 @@ type t = {
   stats : stats;
   mutable own_seq : int;
   mutable local_groups : GroupSet.t;
-  mutable local_cbs : (Packet.t -> unit) list;
+  local_cbs : (Packet.t -> unit) Pim_util.Vec.t;
   mutable local_seq : int;
 }
 
@@ -167,7 +167,7 @@ let plan_for t src_router g =
 
 let local_deliver t pkt =
   t.stats.data_delivered_local <- t.stats.data_delivered_local + 1;
-  List.iter (fun f -> f pkt) t.local_cbs
+  Pim_util.Vec.iter (fun f -> f pkt) t.local_cbs
 
 let forward t pkt olist =
   match Packet.decr_ttl pkt with
@@ -214,7 +214,7 @@ let leave_local t g =
     originate_lsa t
   end
 
-let on_local_data t f = t.local_cbs <- t.local_cbs @ [ f ]
+let on_local_data t f = Pim_util.Vec.push t.local_cbs f
 
 let local_source_addr t = Addr.host ~router:t.node 1
 
@@ -270,7 +270,7 @@ let create ?trace ?lsa_refresh ~net node =
       stats = fresh_stats ();
       own_seq = 0;
       local_groups = GroupSet.empty;
-      local_cbs = [];
+      local_cbs = Pim_util.Vec.create ();
       local_seq = 0;
     }
   in

@@ -33,7 +33,7 @@ type route = {
 type state = {
   u : Topology.node;
   table : (Topology.node, route) Hashtbl.t;
-  mutable subs : (unit -> unit) list;
+  subs : (unit -> unit) Pim_util.Vec.t;
   mutable trigger_pending : bool;
 }
 
@@ -45,7 +45,7 @@ type t = {
   mutable sent : int;
 }
 
-let notify st = List.iter (fun f -> f ()) st.subs
+let notify st = Pim_util.Vec.iter (fun f -> f ()) st.subs
 
 let advertise t st =
   let topo = Net.topo t.net in
@@ -58,8 +58,8 @@ let advertise t st =
             let m = if r.via_iface = iface then t.cfg.infinity_metric else r.metric in
             (dst, m) :: acc)
           st.table []
+        |> List.sort (fun (d, _) (d', _) -> Int.compare d d')
       in
-      let entries = List.sort compare entries in
       let pkt =
         Packet.unicast ~src:(Addr.router st.u) ~dst:Addr.all_pim_routers
           ~size:(8 + (8 * List.length entries))
@@ -120,6 +120,7 @@ let handle_update t st ~iface ~origin entries =
 let sweep t st =
   let now = Engine.now t.eng in
   let changed = ref false in
+  (* pimlint: allow D1 — in-place metric poisoning, order-independent *)
   Hashtbl.iter
     (fun dst r ->
       if dst <> st.u && r.metric < t.cfg.infinity_metric && r.expiry < now then begin
@@ -142,6 +143,7 @@ let on_link_event t st lid =
     let up = Net.link_up t.net lid in
     let changed = ref false in
     if not up then
+      (* pimlint: allow D1 — in-place metric poisoning; order-independent. *)
       Hashtbl.iter
         (fun dst r ->
           if dst <> st.u && r.via_iface = iface && r.metric < t.cfg.infinity_metric then begin
@@ -161,7 +163,7 @@ let create ?(config = default_config) net =
     Array.init n (fun u ->
         let table = Hashtbl.create 16 in
         Hashtbl.replace table u { metric = 0; via_iface = -1; next = u; expiry = infinity };
-        { u; table; subs = []; trigger_pending = false })
+        { u; table; subs = Pim_util.Vec.create (); trigger_pending = false })
   in
   let t = { net; eng; cfg = config; states; sent = 0 } in
   Array.iter
@@ -199,7 +201,7 @@ let rib t u =
   let distance addr =
     match Rib.resolve addr with None -> None | Some d -> metric t u d
   in
-  let subscribe f = st.subs <- st.subs @ [ f ] in
+  let subscribe f = Pim_util.Vec.push st.subs f in
   { Rib.node = u; next_hop; distance; subscribe }
 
 let converged t ~against =

@@ -33,7 +33,7 @@ type state = {
   mutable hop_node : Topology.node option array;
   mutable hop_iface : Topology.iface option array;
   mutable spf_pending : bool;
-  mutable subs : (unit -> unit) list;
+  subs : (unit -> unit) Pim_util.Vec.t;
 }
 
 type t = {
@@ -128,7 +128,7 @@ let run_spf t st =
   st.dist <- dist;
   st.hop_node <- hop_node;
   st.hop_iface <- hop_iface;
-  List.iter (fun f -> f ()) st.subs
+  Pim_util.Vec.iter (fun f -> f ()) st.subs
 
 let schedule_spf t st =
   if not st.spf_pending then begin
@@ -172,7 +172,7 @@ let create ?(config = default_config) net =
           hop_node = Array.make n None;
           hop_iface = Array.make n None;
           spf_pending = false;
-          subs = [];
+          subs = Pim_util.Vec.create ();
         })
   in
   let t = { net; eng; cfg = config; states; lsa_sent = 0; spf_count = 0 } in
@@ -212,7 +212,7 @@ let rib t u =
   let dist_fn addr =
     match Rib.resolve addr with None -> None | Some d -> distance t u d
   in
-  let subscribe f = st.subs <- st.subs @ [ f ] in
+  let subscribe f = Pim_util.Vec.push st.subs f in
   { Rib.node = u; next_hop; distance = dist_fn; subscribe }
 
 let converged t ~against =

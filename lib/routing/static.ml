@@ -5,7 +5,7 @@ type t = {
   net : Pim_sim.Net.t;
   mutable trees : Spt.tree array;  (* indexed by source node *)
   mutable hops : (Topology.node option array * Topology.iface option array) array;
-  mutable subs : (unit -> unit) list array;  (* per node *)
+  subs : (unit -> unit) Pim_util.Vec.t array;  (* per node *)
 }
 
 let usable net u v lid =
@@ -24,12 +24,13 @@ let refresh t =
   let trees, hops = compute t.net in
   t.trees <- trees;
   t.hops <- hops;
-  Array.iter (fun subs -> List.iter (fun f -> f ()) subs) t.subs
+  Array.iter (fun subs -> Pim_util.Vec.iter (fun f -> f ()) subs) t.subs
 
 let create net =
   let topo = Pim_sim.Net.topo net in
   let trees, hops = compute net in
-  let t = { net; trees; hops; subs = Array.make (Topology.n_nodes topo) [] } in
+  let subs = Array.init (Topology.n_nodes topo) (fun _ -> Pim_util.Vec.create ()) in
+  let t = { net; trees; hops; subs } in
   Pim_sim.Net.on_link_change net (fun _ _ -> refresh t);
   t
 
@@ -52,7 +53,7 @@ let rib t u =
       let dd = t.trees.(u).Spt.dist.(d) in
       if dd = max_int then None else Some dd
   in
-  let subscribe f = t.subs.(u) <- t.subs.(u) @ [ f ] in
+  let subscribe f = Pim_util.Vec.push t.subs.(u) f in
   { Rib.node = u; next_hop; distance; subscribe }
 
 let distance_matrix t = Array.map (fun tr -> tr.Spt.dist) t.trees

@@ -1,0 +1,5 @@
+(* D1 positive: unordered traversals whose element order escapes. *)
+
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+
+let visit f tbl = Hashtbl.iter f tbl

@@ -1,0 +1,6 @@
+(* D1 suppressed: same shapes as d1_bad.ml, justified allows. *)
+
+(* pimlint: allow D1 — order folded into a set downstream *)
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+
+let visit f tbl = Hashtbl.iter f tbl (* pimlint: allow D1 — in-place, order-independent *)

@@ -1,0 +1,7 @@
+(* D2 positive: ambient randomness and wall-clock reads. *)
+
+let roll () = Random.int 6
+
+let stamp () = Unix.time ()
+
+let cpu () = Sys.time ()

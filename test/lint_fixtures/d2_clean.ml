@@ -1,0 +1,3 @@
+(* D2 clean: all randomness flows from the seeded Prng. *)
+
+let roll prng = Pim_util.Prng.int prng 6

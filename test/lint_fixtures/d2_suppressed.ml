@@ -1,0 +1,3 @@
+(* D2 suppressed. *)
+
+let roll () = Random.int 6 (* pimlint: allow D2 — demo code, not simulation *)

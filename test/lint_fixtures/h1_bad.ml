@@ -1,0 +1,5 @@
+(* H1 positive: polymorphic compare. *)
+
+let sorted xs = List.sort compare xs
+
+let cmp a b = Stdlib.compare a b

@@ -1,0 +1,10 @@
+(* H1 clean: typed comparisons, and a file-local [compare] definition
+   (the bare name then refers to the typed function, as in Prefix). *)
+
+type t = { id : int }
+
+let compare a b = Int.compare a.id b.id
+
+let sorted xs = List.sort compare xs
+
+let sorted_ints xs = List.sort Int.compare xs

@@ -1,0 +1,3 @@
+(* H1 suppressed. *)
+
+let sorted xs = List.sort compare xs (* pimlint: allow H1 — ints only here *)

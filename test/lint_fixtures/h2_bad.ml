@@ -1,0 +1,5 @@
+(* H2 positive: float equality and physical equality. *)
+
+let is_zero x = x = 0.0
+
+let same_cell a b = a == b

@@ -1,0 +1,5 @@
+(* H2 clean: epsilon comparison and typed equality. *)
+
+let is_zero x = Float.abs x < 1e-9
+
+let same a b = Float.equal a b

@@ -1,0 +1,3 @@
+(* H2 suppressed. *)
+
+let is_zero x = x = 0.0 (* pimlint: allow H2 — sentinel value, exact by construction *)

@@ -1,0 +1,3 @@
+(* H3 clean: named exceptions only. *)
+
+let find_or_zero tbl k = try Hashtbl.find tbl k with Not_found -> 0

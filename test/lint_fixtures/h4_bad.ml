@@ -1,0 +1,7 @@
+(* H4 positive: quadratic list growth. *)
+
+let copy xs = List.fold_left (fun acc x -> acc @ [ x ]) [] xs
+
+type t = { mutable subs : int list }
+
+let register t x = t.subs <- t.subs @ [ x ]

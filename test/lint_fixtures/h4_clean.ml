@@ -1,0 +1,3 @@
+(* H4 clean: cons-accumulate then reverse once. *)
+
+let copy xs = List.rev (List.fold_left (fun acc x -> x :: acc) [] xs)

@@ -1,0 +1,5 @@
+(* H4 suppressed. *)
+
+type t = { mutable subs : int list }
+
+let register t x = t.subs <- t.subs @ [ x ] (* pimlint: allow H4 — at most two subscribers *)

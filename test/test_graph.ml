@@ -1,3 +1,14 @@
+(* Pin the qcheck exploration seed so [dune runtest] draws the same property
+   cases on every run; export QCHECK_SEED to explore a different slice of the
+   input space. *)
+let qcheck_rand () =
+  let seed =
+    match Sys.getenv_opt "QCHECK_SEED" with
+    | Some s -> ( try int_of_string s with _ -> 1994)
+    | None -> 1994
+  in
+  Random.State.make [| seed |]
+
 (* Tests for Pim_graph: topology, generators, Dijkstra, trees, centers. *)
 
 module Topology = Pim_graph.Topology
@@ -411,8 +422,8 @@ let () =
         ] );
       ( "random",
         [
-          QCheck_alcotest.to_alcotest prop_random_graph_connected;
-          QCheck_alcotest.to_alcotest prop_random_graph_no_duplicate_edges;
+          QCheck_alcotest.to_alcotest ~rand:(qcheck_rand ()) prop_random_graph_connected;
+          QCheck_alcotest.to_alcotest ~rand:(qcheck_rand ()) prop_random_graph_no_duplicate_edges;
           Alcotest.test_case "pick members" `Quick test_pick_members;
         ] );
       ( "spt",
@@ -427,26 +438,26 @@ let () =
           Alcotest.test_case "scratch size mismatch" `Quick test_scratch_size_mismatch_rejected;
           Alcotest.test_case "all pairs into matches" `Quick test_all_pairs_into_matches;
           Alcotest.test_case "all pairs symmetric" `Quick test_all_pairs_symmetric;
-          QCheck_alcotest.to_alcotest prop_dijkstra_edge_relaxed;
-          QCheck_alcotest.to_alcotest prop_dijkstra_path_length_matches;
+          QCheck_alcotest.to_alcotest ~rand:(qcheck_rand ()) prop_dijkstra_edge_relaxed;
+          QCheck_alcotest.to_alcotest ~rand:(qcheck_rand ()) prop_dijkstra_path_length_matches;
         ] );
       ( "tree",
         [
           Alcotest.test_case "rejects cycle" `Quick test_tree_rejects_cycle;
           Alcotest.test_case "path" `Quick test_tree_path;
           Alcotest.test_case "covered labels" `Quick test_tree_covered_labels;
-          QCheck_alcotest.to_alcotest prop_tree_covered_equals_union_of_paths;
+          QCheck_alcotest.to_alcotest ~rand:(qcheck_rand ()) prop_tree_covered_equals_union_of_paths;
         ] );
       ( "transit-stub",
         [
           Alcotest.test_case "shape" `Quick test_transit_stub_shape;
-          QCheck_alcotest.to_alcotest prop_transit_stub_connected;
+          QCheck_alcotest.to_alcotest ~rand:(qcheck_rand ()) prop_transit_stub_connected;
         ] );
       ( "center",
         [
           Alcotest.test_case "line center" `Quick test_center_on_line;
-          QCheck_alcotest.to_alcotest prop_center_never_beats_spt;
-          QCheck_alcotest.to_alcotest prop_center_optimal_is_minimum;
+          QCheck_alcotest.to_alcotest ~rand:(qcheck_rand ()) prop_center_never_beats_spt;
+          QCheck_alcotest.to_alcotest ~rand:(qcheck_rand ()) prop_center_optimal_is_minimum;
           Alcotest.test_case "center tree spans" `Quick test_center_tree_spans;
         ] );
     ]

@@ -1,0 +1,157 @@
+(* Tests for pimlint (Pim_check): golden fixtures per rule, suppression
+   comments, the baseline ratchet, driver exit codes — and the
+   determinism digests the linter exists to protect: double runs of the
+   chaos harness and the Figure-2 experiments must produce identical
+   reports. *)
+
+module Finding = Pim_check.Finding
+module Suppress = Pim_check.Suppress
+module Baseline = Pim_check.Baseline
+module Lint = Pim_check.Lint
+
+let fixture name = Filename.concat "lint_fixtures" name
+
+let rules_of findings = List.map (fun f -> Finding.rule_id f.Finding.rule) findings
+
+(* {1 Golden fixtures: positive, suppressed, clean per rule} *)
+
+let check_fixture name expected () =
+  let findings = Lint.lint_file (fixture name) in
+  Alcotest.(check (list string)) name expected (rules_of findings)
+
+let fixture_tests =
+  [
+    ("d1_bad.ml", [ "D1"; "D1" ]);
+    ("d1_suppressed.ml", []);
+    ("d1_clean.ml", []);
+    ("d2_bad.ml", [ "D2"; "D2"; "D2" ]);
+    ("d2_suppressed.ml", []);
+    ("d2_clean.ml", []);
+    ("h1_bad.ml", [ "H1"; "H1" ]);
+    ("h1_suppressed.ml", []);
+    ("h1_clean.ml", []);
+    ("h2_bad.ml", [ "H2"; "H2" ]);
+    ("h2_suppressed.ml", []);
+    ("h2_clean.ml", []);
+    ("h3_bad.ml", [ "H3" ]);
+    ("h3_suppressed.ml", []);
+    ("h3_clean.ml", []);
+    ("h4_bad.ml", [ "H4"; "H4" ]);
+    ("h4_suppressed.ml", []);
+    ("h4_clean.ml", []);
+  ]
+  |> List.map (fun (name, expected) ->
+         Alcotest.test_case name `Quick (check_fixture name expected))
+
+(* {1 Suppression comments} *)
+
+let test_suppress_scan () =
+  let t =
+    Suppress.scan_lines
+      [
+        "let x = 1";
+        "(* pimlint: allow D1, H4 *)";
+        "let y = Hashtbl.fold f tbl []";
+        "let z = 3";
+      ]
+  in
+  Alcotest.(check bool) "own line" true (Suppress.allows t ~line:2 Finding.D1);
+  Alcotest.(check bool) "next line D1" true (Suppress.allows t ~line:3 Finding.D1);
+  Alcotest.(check bool) "next line H4" true (Suppress.allows t ~line:3 Finding.H4);
+  Alcotest.(check bool) "other rule" false (Suppress.allows t ~line:3 Finding.H3);
+  Alcotest.(check bool) "two lines below" false (Suppress.allows t ~line:4 Finding.D1);
+  Alcotest.(check bool) "unrelated line" false (Suppress.allows t ~line:1 Finding.D1)
+
+(* {1 Baseline ratchet} *)
+
+let finding rule file line =
+  { Finding.rule; file; line; col = 0; message = "test" }
+
+let test_baseline_ratchet () =
+  let legacy = [ finding Finding.D1 "a.ml" 3; finding Finding.D1 "a.ml" 9 ] in
+  let base = Baseline.counts legacy in
+  Alcotest.(check int) "allowance" 2 (Baseline.allowance base ~rule:Finding.D1 ~file:"a.ml");
+  (* Same count: everything grandfathered. *)
+  let overflow, tolerated = Baseline.apply base legacy in
+  Alcotest.(check int) "no overflow" 0 (List.length overflow);
+  Alcotest.(check int) "all grandfathered" 2 (List.length tolerated);
+  (* One extra finding of the same (rule, file): the ratchet bites. *)
+  let overflow, tolerated = Baseline.apply base (finding Finding.D1 "a.ml" 20 :: legacy) in
+  Alcotest.(check int) "one overflow" 1 (List.length overflow);
+  Alcotest.(check int) "legacy still tolerated" 2 (List.length tolerated);
+  (* A different rule in the same file is not covered. *)
+  let overflow, _ = Baseline.apply base [ finding Finding.H4 "a.ml" 3 ] in
+  Alcotest.(check int) "other rule overflows" 1 (List.length overflow)
+
+let test_baseline_roundtrip () =
+  let legacy = [ finding Finding.H4 "b.ml" 1; finding Finding.D2 "c.ml" 2 ] in
+  let path = Filename.temp_file "pimlint_baseline" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Baseline.save (Baseline.counts legacy) path;
+      let reloaded = Baseline.load path in
+      Alcotest.(check int) "H4 b.ml" 1 (Baseline.allowance reloaded ~rule:Finding.H4 ~file:"b.ml");
+      Alcotest.(check int) "D2 c.ml" 1 (Baseline.allowance reloaded ~rule:Finding.D2 ~file:"c.ml");
+      Alcotest.(check int) "absent" 0 (Baseline.allowance reloaded ~rule:Finding.D1 ~file:"b.ml"))
+
+(* {1 Driver exit codes} *)
+
+let null_formatter =
+  Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+let test_exit_codes () =
+  let run paths = Lint.run ~paths null_formatter in
+  Alcotest.(check int) "violating fixture exits 1" 1 (run [ fixture "d1_bad.ml" ]);
+  Alcotest.(check int) "clean fixture exits 0" 0 (run [ fixture "d1_clean.ml" ]);
+  Alcotest.(check int) "suppressed fixture exits 0" 0 (run [ fixture "h3_suppressed.ml" ])
+
+(* {1 Determinism digests} *)
+
+(* The linter's D-rules exist to keep seeded runs reproducible; these
+   digests assert the end-to-end property on the real harnesses: the
+   same seed must produce byte-identical formatted reports. *)
+
+let test_chaos_digest () =
+  let go () =
+    let r = Pim_exp.Chaos.run ~nodes:12 ~receivers:3 ~events:3 ~seed:42 () in
+    Format.asprintf "%a" Pim_exp.Chaos.pp_report r
+  in
+  let a = go () and b = go () in
+  Alcotest.(check string) "chaos --seed 42 twice: identical report" a b;
+  Alcotest.(check bool) "report is not empty" true (String.length a > 0)
+
+let test_fig2a_digest () =
+  let go () =
+    Format.asprintf "%a" Pim_exp.Fig2a.pp_rows
+      (Pim_exp.Fig2a.run ~nodes:20 ~members:5 ~trials:3 ~degrees:[ 3.; 4. ] ~seed:11 ())
+  in
+  Alcotest.(check string) "fig2a twice: identical report" (go ()) (go ())
+
+let test_fig2b_digest () =
+  let go () =
+    Format.asprintf "%a" Pim_exp.Fig2b.pp_rows
+      (Pim_exp.Fig2b.run ~nodes:20 ~groups:10 ~members:8 ~senders:4 ~trials:2
+         ~degrees:[ 3.; 4. ] ~seed:11 ())
+  in
+  Alcotest.(check string) "fig2b twice: identical report" (go ()) (go ())
+
+let () =
+  Alcotest.run "pim_lint"
+    [
+      ("fixtures", fixture_tests);
+      ( "suppress",
+        [ Alcotest.test_case "scan and cover" `Quick test_suppress_scan ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "ratchet" `Quick test_baseline_ratchet;
+          Alcotest.test_case "save/load roundtrip" `Quick test_baseline_roundtrip;
+        ] );
+      ("driver", [ Alcotest.test_case "exit codes" `Quick test_exit_codes ]);
+      ( "determinism",
+        [
+          Alcotest.test_case "chaos double run" `Quick test_chaos_digest;
+          Alcotest.test_case "fig2a double run" `Quick test_fig2a_digest;
+          Alcotest.test_case "fig2b double run" `Quick test_fig2b_digest;
+        ] );
+    ]

@@ -1,3 +1,14 @@
+(* Pin the qcheck exploration seed so [dune runtest] draws the same property
+   cases on every run; export QCHECK_SEED to explore a different slice of the
+   input space. *)
+let qcheck_rand () =
+  let seed =
+    match Sys.getenv_opt "QCHECK_SEED" with
+    | Some s -> ( try int_of_string s with _ -> 1994)
+    | None -> 1994
+  in
+  Random.State.make [| seed |]
+
 (* Unit and property tests for Pim_util: PRNG, heaps, bitset, statistics,
    JSON writer. *)
 
@@ -505,8 +516,8 @@ let () =
           Alcotest.test_case "drain leaves reusable" `Quick test_heap_drain_leaves_reusable;
           Alcotest.test_case "no retention after pop" `Quick test_heap_no_retention_after_pop;
           Alcotest.test_case "no retention after clear" `Quick test_heap_no_retention_after_clear;
-          QCheck_alcotest.to_alcotest prop_heap_sorts;
-          QCheck_alcotest.to_alcotest prop_heap_interleaved;
+          QCheck_alcotest.to_alcotest ~rand:(qcheck_rand ()) prop_heap_sorts;
+          QCheck_alcotest.to_alcotest ~rand:(qcheck_rand ()) prop_heap_interleaved;
         ] );
       ( "indexed-heap",
         [
@@ -516,14 +527,14 @@ let () =
           Alcotest.test_case "deterministic ties" `Quick test_ih_tie_breaks_on_element;
           Alcotest.test_case "clear reusable" `Quick test_ih_clear_reusable;
           Alcotest.test_case "rejects duplicates/range" `Quick test_ih_rejects_duplicates_and_range;
-          QCheck_alcotest.to_alcotest prop_ih_model;
+          QCheck_alcotest.to_alcotest ~rand:(qcheck_rand ()) prop_ih_model;
         ] );
       ( "bitset",
         [
           Alcotest.test_case "basic" `Quick test_bitset_basic;
           Alcotest.test_case "add idempotent" `Quick test_bitset_add_idempotent;
           Alcotest.test_case "bounds" `Quick test_bitset_bounds;
-          QCheck_alcotest.to_alcotest prop_bitset_model;
+          QCheck_alcotest.to_alcotest ~rand:(qcheck_rand ()) prop_bitset_model;
         ] );
       ( "json",
         [
