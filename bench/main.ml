@@ -367,6 +367,19 @@ let run_json path =
   in
   Pim_util.Json.to_file path json;
   Format.printf "# wrote %s@." path;
+  (* Companion metrics baseline: one deterministic end-to-end PIM scenario
+     (the seed-1994 qcheck derivation), its whole metrics registry as
+     pim-metrics/1 JSON.  Unlike the wall-clock numbers above this file is
+     byte-identical across runs, so a diff against the committed copy
+     flags any behavioural (not performance) change. *)
+  let metrics_path = Filename.concat (Filename.dirname path) "METRICS_fig2.json" in
+  let outcome =
+    Pim_exp.Scenario.run ~metrics_file:metrics_path
+      (Pim_exp.Scenario.default_spec ~seed ~member_count:6)
+  in
+  if not outcome.Pim_exp.Scenario.ok then
+    Format.printf "# WARNING: metrics scenario violated the delivery property@.";
+  Format.printf "# wrote %s@." metrics_path;
   Format.printf "# %-28s %6s %14s %16s@." "benchmark" "runs" "time/run" "alloc/run";
   List.iter
     (fun r ->

@@ -280,6 +280,138 @@ let all_cmd =
     (Cmd.info "all" ~doc:"Run every experiment at reduced trial counts (see EXPERIMENTS.md).")
     Term.(const run $ seed_arg)
 
+(* --- pimsim trace: record / inspect / diff packet captures ------------ *)
+
+let trace_record_cmd =
+  let run seed members packets no_fallback capture trace_out metrics =
+    let spec =
+      {
+        (Pim_exp.Scenario.default_spec ~seed ~member_count:members) with
+        Pim_exp.Scenario.packets;
+        switchover_fallback = not no_fallback;
+      }
+    in
+    let o =
+      Pim_exp.Scenario.run ~capture_file:capture ?trace_file:trace_out ?metrics_file:metrics spec
+    in
+    Format.printf "scenario seed=%d members=[%s] rp=%d source=%d nodes=%d@." seed
+      (String.concat ";" (List.map string_of_int o.Pim_exp.Scenario.members))
+      o.Pim_exp.Scenario.rp o.Pim_exp.Scenario.source o.Pim_exp.Scenario.nodes;
+    Format.printf "ok=%b wrong=%d dup_suppressed=%d residual=%d@." o.Pim_exp.Scenario.ok
+      (List.length o.Pim_exp.Scenario.wrong)
+      o.Pim_exp.Scenario.dup_suppressed o.Pim_exp.Scenario.residual_entries;
+    Format.printf "wrote %s@." capture;
+    if not o.Pim_exp.Scenario.ok then exit 1
+  in
+  let seed = Arg.(value & opt int 56517 & info [ "seed" ] ~doc:"Scenario seed.") in
+  let members = Arg.(value & opt int 6 & info [ "members" ] ~doc:"Group size.") in
+  let packets = Arg.(value & opt int 30 & info [ "packets" ] ~doc:"Data packets to send.") in
+  let no_fallback =
+    Arg.(
+      value & flag
+      & info [ "no-switchover-fallback" ]
+          ~doc:
+            "Disable the switchover shared-tree fallback (reproduces the pre-fix drop \
+             behaviour; the run then exits 1 on the historical counterexample).")
+  in
+  let capture =
+    Arg.(required & opt (some string) None & info [ "o"; "capture" ] ~docv:"FILE"
+         ~doc:"JSONL packet capture output path.")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Also write the typed event trace as JSONL.")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Also write the metrics registry as JSON (schema pim-metrics/1).")
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:
+         "Replay a seeded random scenario (the qcheck generator's derivation) under full \
+          packet capture.  Exits 1 if the scenario violates the \
+          complete/duplicate-free/drains property.")
+    Term.(const run $ seed $ members $ packets $ no_fallback $ capture $ trace_out $ metrics)
+
+let load_capture_or_die path =
+  match Pim_sim.Capture.load path with
+  | Ok entries -> entries
+  | Error msg ->
+    Format.eprintf "pimsim trace: %s: %s@." path msg;
+    exit 2
+
+let trace_show_cmd =
+  let run path node group kind phase t_min t_max count_only =
+    let phase =
+      match phase with
+      | None -> None
+      | Some "send" -> Some `Send
+      | Some "deliver" -> Some `Deliver
+      | Some "drop" -> Some `Drop
+      | Some p ->
+        Format.eprintf "pimsim trace: unknown phase %S (send|deliver|drop)@." p;
+        exit 2
+    in
+    let entries =
+      Pim_sim.Capture.filter ?node ?group ?kind ?phase ?t_min ?t_max (load_capture_or_die path)
+    in
+    if count_only then Format.printf "%d@." (List.length entries)
+    else List.iter (fun e -> Format.printf "%a@." Pim_sim.Capture.pp_entry e) entries
+  in
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"CAPTURE") in
+  let node =
+    Arg.(value & opt (some int) None & info [ "node" ] ~doc:"Keep entries on links touching this router.")
+  in
+  let group =
+    Arg.(value & opt (some string) None & info [ "group" ] ~doc:"Keep entries addressed to this group/destination.")
+  in
+  let kind =
+    Arg.(value & opt (some string) None & info [ "kind" ] ~doc:"Keep one payload kind (e.g. data, register, join/prune).")
+  in
+  let phase =
+    Arg.(value & opt (some string) None & info [ "phase" ] ~doc:"Keep one phase: send, deliver or drop.")
+  in
+  let t_min = Arg.(value & opt (some float) None & info [ "from" ] ~docv:"T" ~doc:"Start of time window.") in
+  let t_max = Arg.(value & opt (some float) None & info [ "to" ] ~docv:"T" ~doc:"End of time window.") in
+  let count_only = Arg.(value & flag & info [ "count" ] ~doc:"Print only the number of matching entries.") in
+  Cmd.v
+    (Cmd.info "show"
+       ~doc:
+         "Filter and pretty-print a JSONL packet capture.  Exits 2 if the file is missing or \
+          malformed.")
+    Term.(const run $ path $ node $ group $ kind $ phase $ t_min $ t_max $ count_only)
+
+let trace_diff_cmd =
+  let run a b =
+    let ea = load_capture_or_die a and eb = load_capture_or_die b in
+    let only_a, only_b = Pim_sim.Capture.diff ea eb in
+    List.iter (fun e -> Format.printf "- %a@." Pim_sim.Capture.pp_entry e) only_a;
+    List.iter (fun e -> Format.printf "+ %a@." Pim_sim.Capture.pp_entry e) only_b;
+    if only_a = [] && only_b = [] then Format.printf "captures identical (%d entries)@." (List.length ea)
+    else begin
+      Format.eprintf "pimsim trace: %d entries only in %s, %d only in %s@." (List.length only_a)
+        a (List.length only_b) b;
+      exit 1
+    end
+  in
+  let a = Arg.(required & pos 0 (some string) None & info [] ~docv:"CAPTURE_A") in
+  let b = Arg.(required & pos 1 (some string) None & info [] ~docv:"CAPTURE_B") in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Multiset-diff two captures.  Exits 0 when identical, 1 when they differ, 2 on a \
+          missing or malformed file.")
+    Term.(const run $ a $ b)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:
+         "Record, inspect and diff packet-level captures of simulated scenarios (see \
+          EXPERIMENTS.md).")
+    [ trace_record_cmd; trace_show_cmd; trace_diff_cmd ]
+
 let lint_cmd =
   let run baseline update paths =
     let paths = if paths = [] then [ "lib" ] else paths in
@@ -321,4 +453,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ fig2a_cmd; fig2b_cmd; fig1_cmd; overhead_cmd; failover_cmd; ablation_cmd; refresh_cmd; groups_cmd; aggregation_cmd; churn_cmd; loss_cmd; chaos_cmd; all_cmd; lint_cmd ]))
+          [ fig2a_cmd; fig2b_cmd; fig1_cmd; overhead_cmd; failover_cmd; ablation_cmd; refresh_cmd; groups_cmd; aggregation_cmd; churn_cmd; loss_cmd; chaos_cmd; trace_cmd; all_cmd; lint_cmd ]))

@@ -2,6 +2,7 @@ module Topology = Pim_graph.Topology
 module Net = Pim_sim.Net
 module Engine = Pim_sim.Engine
 module Trace = Pim_sim.Trace
+module Event = Pim_sim.Event
 module Packet = Pim_net.Packet
 module Addr = Pim_net.Addr
 module Group = Pim_net.Group
@@ -119,6 +120,9 @@ let tr t tag fmt =
   | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
   | Some trc -> Format.kasprintf (fun s -> Trace.log trc ~node:t.node ~tag s) fmt
 
+let ev t event =
+  match t.trace with None -> () | Some trc -> Trace.emit trc ~node:t.node event
+
 let is_core t (e : entry) = Addr.equal e.core t.addr
 
 let all_routers = Group.of_addr_exn Addr.all_pim_routers
@@ -131,7 +135,7 @@ let send_join t (e : entry) =
   | Some (iface, up) ->
     e.join_outstanding <- true;
     t.stats.joins_sent <- t.stats.joins_sent + 1;
-    tr t "join" "JOIN-REQUEST %s -> node %d" (Group.to_string e.group) up;
+    ev t (Event.Join { route = { Event.group = Group.to_string e.group; source = None }; iface });
     let b = { group = e.group; core = e.core; origin = t.node; target = Addr.router up } in
     Net.send t.net t.node ~iface (ctrl t (Join_request b))
 

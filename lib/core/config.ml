@@ -15,6 +15,7 @@ type t = {
   register_suppress : bool;
   aggregate_sources : bool;
   sweep_interval : float;
+  switchover_fallback : bool;
 }
 
 let default =
@@ -30,6 +31,7 @@ let default =
     register_suppress = true;
     aggregate_sources = false;
     sweep_interval = 20.;
+    switchover_fallback = true;
   }
 
 let scale f t =

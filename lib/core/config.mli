@@ -35,6 +35,15 @@ type t = {
           "domain level aggregate" of section 4) into one prefix entry;
           off by default, tree construction is always per-source *)
   sweep_interval : float;  (** timer-wheel granularity *)
+  switchover_fallback : bool;
+      (** during the RP-tree to SPT switchover, forward shared-tree
+          stragglers (packets whose SPT twin never existed because the
+          source sent them before the (S,G) join chain completed) over the
+          shared fallback, deduplicating by packet identity.  Off, the
+          router drops every shared-tree arrival once its SPT bit is set —
+          the literal section 3.5 incoming-interface check, which loses
+          those stragglers (the former ROADMAP open item; see
+          test/test_replay.ml).  On by default. *)
 }
 
 val default : t

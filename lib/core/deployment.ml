@@ -97,6 +97,8 @@ let total_stats t =
       acc.Router.rp_reach_sent <- acc.Router.rp_reach_sent + s.Router.rp_reach_sent;
       acc.Router.data_forwarded <- acc.Router.data_forwarded + s.Router.data_forwarded;
       acc.Router.data_dropped_iif <- acc.Router.data_dropped_iif + s.Router.data_dropped_iif;
+      acc.Router.data_dup_suppressed <-
+        acc.Router.data_dup_suppressed + s.Router.data_dup_suppressed;
       acc.Router.data_dropped_no_state <-
         acc.Router.data_dropped_no_state + s.Router.data_dropped_no_state;
       acc.Router.data_delivered_local <-
@@ -106,3 +108,42 @@ let total_stats t =
       acc.Router.rp_failovers <- acc.Router.rp_failovers + s.Router.rp_failovers)
     t.routers;
   acc
+
+module Metrics = Pim_util.Metrics
+
+let export_metrics t m =
+  Array.iter
+    (fun r ->
+      let labels = [ ("node", string_of_int (Router.node r)) ] in
+      (* Export-as-set: an instrument already holding this router's
+         previous snapshot is brought up to date, so exporting twice
+         doesn't double-count. *)
+      let set name v =
+        let c = Metrics.counter m ~labels name in
+        Metrics.incr ~by:(v - Metrics.counter_value c) c
+      in
+      let s = Router.stats r in
+      set "router_jp_msgs_sent" s.Router.jp_msgs_sent;
+      set "router_joins_sent" s.Router.joins_sent;
+      set "router_prunes_sent" s.Router.prunes_sent;
+      set "router_registers_sent" s.Router.registers_sent;
+      set "router_rp_reach_sent" s.Router.rp_reach_sent;
+      set "router_data_forwarded" s.Router.data_forwarded;
+      set "router_data_dropped_iif" s.Router.data_dropped_iif;
+      set "router_data_dup_suppressed" s.Router.data_dup_suppressed;
+      set "router_data_dropped_no_state" s.Router.data_dropped_no_state;
+      set "router_data_delivered_local" s.Router.data_delivered_local;
+      set "router_spt_switches" s.Router.spt_switches;
+      let by_group = Hashtbl.create 4 in
+      List.iter
+        (fun e ->
+          let g = Pim_net.Group.to_string e.Pim_mcast.Fwd.group in
+          Hashtbl.replace by_group g (1 + Option.value ~default:0 (Hashtbl.find_opt by_group g)))
+        (Pim_mcast.Fwd.entries (Router.fib r));
+      Hashtbl.fold (fun g count acc -> (g, count) :: acc) by_group []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      |> List.iter (fun (g, count) ->
+             Metrics.set
+               (Metrics.gauge m ~labels:(("group", g) :: labels) "router_group_entries")
+               (float_of_int count)))
+    t.routers

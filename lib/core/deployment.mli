@@ -38,6 +38,14 @@ val total_entries : t -> int
 val total_stats : t -> Router.stats
 (** Field-wise sum over all routers. *)
 
+val export_metrics : t -> Pim_util.Metrics.t -> unit
+(** Snapshot every router's protocol counters into the registry as
+    [router_*] counters labelled [node], plus one [router_group_entries]
+    gauge per (router, group) with live forwarding state.  Idempotent:
+    re-exporting updates the instruments in place rather than
+    double-counting, so it can be called right before each
+    {!Pim_util.Metrics.to_json} dump. *)
+
 val pp_shared_tree : t -> Pim_net.Group.t -> Format.formatter -> unit -> unit
 (** Render the group's RP-rooted shared tree as indented ASCII, derived
     from the live "(*,G)" entries (each router hangs under the neighbor

@@ -2,6 +2,7 @@ module Topology = Pim_graph.Topology
 module Net = Pim_sim.Net
 module Engine = Pim_sim.Engine
 module Trace = Pim_sim.Trace
+module Event = Pim_sim.Event
 module Packet = Pim_net.Packet
 module Addr = Pim_net.Addr
 module Group = Pim_net.Group
@@ -22,6 +23,7 @@ type stats = {
   mutable rp_reach_sent : int;
   mutable data_forwarded : int;
   mutable data_dropped_iif : int;
+  mutable data_dup_suppressed : int;
   mutable data_dropped_no_state : int;
   mutable data_delivered_local : int;
   mutable unicast_forwarded : int;
@@ -38,6 +40,7 @@ let fresh_stats () =
     rp_reach_sent = 0;
     data_forwarded = 0;
     data_dropped_iif = 0;
+    data_dup_suppressed = 0;
     data_dropped_no_state = 0;
     data_delivered_local = 0;
     unicast_forwarded = 0;
@@ -58,6 +61,19 @@ type aux = {
   mutable override_pending : bool;
   mutable was_wanted : bool;  (* olist was non-empty at the last sweep *)
   pruned : (Topology.iface, float) Hashtbl.t;
+  (* Ring of recently forwarded data-packet identities (the IP
+     Identification field, [Mdata.seq] here).  During the RP-tree/SPT
+     switchover the same packet can reach this router over both trees, and
+     packets sent before the (S,G) join chain completed exist only as
+     RP-tree copies still in flight when the SPT bit flips.  The identity
+     ring lets [handle_data] forward those stragglers over the shared
+     fallback while suppressing true duplicates — the hitless variant of
+     the paper's accept-transient-duplicate-or-loss switchover
+     (section 3.5). *)
+  mutable reg_stop_seen : bool;  (* register suppression onset already traced *)
+  mutable seen_ids : int array;  (* ring storage, [||] until first use *)
+  mutable seen_len : int;  (* valid prefix length *)
+  mutable seen_next : int;  (* next write position *)
 }
 
 type t = {
@@ -102,6 +118,14 @@ let tr t tag fmt =
   | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
   | Some trc -> Format.kasprintf (fun s -> Trace.log trc ~node:t.node ~tag s) fmt
 
+let ev t event =
+  match t.trace with None -> () | Some trc -> Trace.emit trc ~node:t.node event
+
+let route_of_sg g s = { Event.group = Group.to_string g; source = Some (Addr.to_string s) }
+
+let route_of_entry (e : Fwd.entry) =
+  { Event.group = Group.to_string e.Fwd.group; source = Option.map Addr.to_string e.Fwd.source }
+
 let aux t e =
   let k = Fwd.key e in
   match Hashtbl.find_opt t.auxes k with
@@ -114,6 +138,10 @@ let aux t e =
         override_pending = false;
         was_wanted = false;
         pruned = Hashtbl.create 4;
+        reg_stop_seen = false;
+        seen_ids = [||];
+        seen_len = 0;
+        seen_next = 0;
       }
     in
     Hashtbl.replace t.auxes k a;
@@ -206,7 +234,7 @@ let triggered_join t e =
   let a = aux t e in
   match (a.upstream, jp_entry_of e) with
   | Some (iface, up), Some je ->
-    tr t "join" "triggered join %a -> node %d" Message.pp_jp_entry je up;
+    ev t (Event.Join { route = route_of_entry e; iface });
     send_jp t ~iface ~target:(Addr.router up) ~group:e.Fwd.group ~joins:[ je ] ~prunes:[]
   | _ -> ()
 
@@ -214,7 +242,7 @@ let triggered_prune t e =
   let a = aux t e in
   match (a.upstream, jp_entry_of e) with
   | Some (iface, up), Some je ->
-    tr t "prune" "triggered prune %a -> node %d" Message.pp_jp_entry je up;
+    ev t (Event.Prune { route = route_of_entry e; iface });
     send_jp t ~iface ~target:(Addr.router up) ~group:e.Fwd.group ~joins:[] ~prunes:[ je ]
   | _ -> ()
 
@@ -226,7 +254,7 @@ let divergence_prune t (e : Fwd.entry) =
     let a = aux t star in
     match a.upstream with
     | Some (iface, up) ->
-      tr t "prune" "prune %s off shared tree -> node %d" (Addr.to_string s) up;
+      ev t (Event.Prune { route = route_of_sg e.Fwd.group s; iface });
       send_jp t ~iface ~target:(Addr.router up) ~group:e.Fwd.group ~joins:[]
         ~prunes:[ Message.jp_entry ~rp:true s ]
     | None -> ())
@@ -247,7 +275,7 @@ let ensure_star t g ~rp =
     e.Fwd.rp_deadline <- now t +. t.cfg.rp_timeout;
     Fwd.insert t.fib e;
     (aux t e).upstream <- upstream;
-    tr t "entry-new" "%a" Fwd.pp_entry e;
+    ev t (Event.Entry_install { route = route_of_entry e });
     triggered_join t e;
     e
 
@@ -270,19 +298,31 @@ let ensure_sg t g s ~rp_bit =
     let e = Fwd.make_sg ~group:g ~source:s ?rp ~rp_bit ~iif ~expires:(now t +. t.cfg.entry_linger) () in
     Fwd.insert t.fib e;
     (aux t e).upstream <- upstream;
-    tr t "entry-new" "%a" Fwd.pp_entry e;
+    ev t (Event.Entry_install { route = route_of_entry e });
     if not rp_bit then triggered_join t e;
     e
 
 let delete_entry t (e : Fwd.entry) =
-  tr t "entry-del" "%a" Fwd.pp_entry e;
+  ev t (Event.Entry_expire { route = route_of_entry e });
   Hashtbl.remove t.auxes (Fwd.key e);
   Fwd.remove t.fib e.Fwd.group e.Fwd.source
 
 (* {1 Local members and data delivery} *)
 
+let dst_group_string pkt =
+  match pkt.Packet.dst with
+  | Packet.Multicast g -> Group.to_string g
+  | Packet.Unicast a -> Addr.to_string a
+
 let local_deliver t pkt =
   t.stats.data_delivered_local <- t.stats.data_delivered_local + 1;
+  ev t
+    (Event.Pkt_deliver
+       {
+         src = Addr.to_string pkt.Packet.src;
+         group = dst_group_string pkt;
+         iface = local_iface;
+       });
   Pim_util.Vec.iter (fun f -> f pkt) t.local_cbs
 
 let on_local_data t f = Pim_util.Vec.push t.local_cbs f
@@ -341,6 +381,24 @@ let has_local_members t g =
 
 (* {1 Data-packet forwarding (section 3.5)} *)
 
+(* Identity ring for switchover duplicate suppression: capacity bounds the
+   window of remembered packets, which must exceed the number of packets in
+   flight across the RP-tree/SPT path-length skew (a few dozen at realistic
+   rates; 256 leaves ample margin). *)
+let seen_capacity = 256
+
+let seen_id a id =
+  let ids = a.seen_ids in
+  let n = a.seen_len in
+  let rec go i = i < n && (Array.unsafe_get ids i = id || go (i + 1)) in
+  go 0
+
+let record_id a id =
+  if Array.length a.seen_ids = 0 then a.seen_ids <- Array.make seen_capacity (-1);
+  a.seen_ids.(a.seen_next) <- id;
+  a.seen_next <- (a.seen_next + 1) mod seen_capacity;
+  if a.seen_len < seen_capacity then a.seen_len <- a.seen_len + 1
+
 let forward_data t pkt ~olist =
   match Packet.decr_ttl pkt with
   | None -> ()
@@ -354,13 +412,40 @@ let forward_data t pkt ~olist =
         end)
       olist
 
+(* Forward a data packet matched by an (S,G) entry, suppressing identities
+   this entry already forwarded.  During the switchover the same packet can
+   arrive over both the shared tree and the SPT; identity (the IP
+   Identification field, modelled by [Mdata.seq]) tells a straggler — an
+   RP-tree copy whose SPT twin never existed — from a true duplicate. *)
+let forward_sg t a pkt ~olist =
+  if olist <> [] then begin
+    match Mdata.info pkt with
+    | Some i ->
+      if seen_id a i.Mdata.seq then begin
+        t.stats.data_dup_suppressed <- t.stats.data_dup_suppressed + 1;
+        ev t
+          (Event.Pkt_drop
+             {
+               src = Addr.to_string pkt.Packet.src;
+               group = dst_group_string pkt;
+               iface = local_iface;
+               reason = Printf.sprintf "dup id=%d" i.Mdata.seq;
+             })
+      end
+      else begin
+        record_id a i.Mdata.seq;
+        forward_data t pkt ~olist
+      end
+    | None -> forward_data t pkt ~olist
+  end
+
 (* A last-hop router with directly connected members notices shared-tree
    data from a source it has no (S,G) entry for and may initiate the
    switch to the source's shortest-path tree (section 3.3). *)
 let maybe_spt_switch t g src =
   let switch () =
     t.stats.spt_switches <- t.stats.spt_switches + 1;
-    tr t "spt-switch" "joining SPT of %s for %s" (Addr.to_string src) (Group.to_string g);
+    ev t (Event.Spt_switch { group = Group.to_string g; source = Addr.to_string src });
     ignore (ensure_sg t g src ~rp_bit:false)
   in
   if has_local_members t g && Fwd.find_sg t.fib g src = None
@@ -397,7 +482,14 @@ let handle_data t ~iface pkt =
     match Fwd.match_data t.fib g ~src with
     | None ->
       t.stats.data_dropped_no_state <- t.stats.data_dropped_no_state + 1;
-      tr t "drop" "no state for (%s,%s) on iface %d" (Addr.to_string src) (Group.to_string g) iface
+      ev t
+            (Event.Pkt_drop
+               {
+                 src = Addr.to_string src;
+                 group = Group.to_string g;
+                 iface;
+                 reason = "no-state";
+               })
     | Some e when (not (Fwd.is_star e)) && e.Fwd.iif = None ->
       (* An (S,G) entry with a null iif means we are the source's first-hop
          router: data for S arriving from the network is a looped copy
@@ -413,7 +505,14 @@ let handle_data t ~iface pkt =
         end
         else begin
           t.stats.data_dropped_iif <- t.stats.data_dropped_iif + 1;
-          tr t "drop" "star iif check failed (%s,%s) iface %d" (Addr.to_string src) (Group.to_string g) iface
+          ev t
+            (Event.Pkt_drop
+               {
+                 src = Addr.to_string src;
+                 group = Group.to_string g;
+                 iface;
+                 reason = "star-iif";
+               })
         end
       end
       else if e.Fwd.rp_bit then begin
@@ -422,15 +521,42 @@ let handle_data t ~iface pkt =
           forward_data t pkt ~olist:(shared_olist t e ~exclude:(Some iface))
         else begin
           t.stats.data_dropped_iif <- t.stats.data_dropped_iif + 1;
-          tr t "drop" "neg-cache iif check failed (%s,%s) iface %d" (Addr.to_string src) (Group.to_string g) iface
+          ev t
+            (Event.Pkt_drop
+               {
+                 src = Addr.to_string src;
+                 group = Group.to_string g;
+                 iface;
+                 reason = "neg-cache-iif";
+               })
         end
       end
       else if e.Fwd.spt_bit then begin
         if Some iface = e.Fwd.iif then
-          forward_data t pkt ~olist:(effective_olist t e ~exclude:(Some iface))
+          forward_sg t (aux t e) pkt ~olist:(effective_olist t e ~exclude:(Some iface))
         else begin
-          t.stats.data_dropped_iif <- t.stats.data_dropped_iif + 1;
-          tr t "drop" "spt iif check failed (%s,%s) iface %d" (Addr.to_string src) (Group.to_string g) iface
+          (* RP-tree copies still arrive on the shared interface until the
+             divergence prune takes effect upstream.  Dropping them here —
+             the [switchover_fallback = false] behaviour, and what a
+             literal reading of the iif check prescribes — loses every
+             packet whose SPT twin never existed because the source sent it
+             before the (S,G) join chain completed.  Forward those
+             stragglers over the shared fallback; the identity ring in
+             [forward_sg] suppresses the true duplicates (diagnosed from
+             the seed=56517 capture; see test/test_replay.ml). *)
+          match Fwd.find_star t.fib g with
+          | Some star when t.cfg.switchover_fallback && Some iface = star.Fwd.iif ->
+            forward_sg t (aux t e) pkt ~olist:(shared_olist t e ~exclude:(Some iface))
+          | _ ->
+            t.stats.data_dropped_iif <- t.stats.data_dropped_iif + 1;
+            ev t
+            (Event.Pkt_drop
+               {
+                 src = Addr.to_string src;
+                 group = Group.to_string g;
+                 iface;
+                 reason = "spt-iif";
+               })
         end
       end
       else if Some iface = e.Fwd.iif then begin
@@ -439,17 +565,24 @@ let handle_data t ~iface pkt =
         e.Fwd.spt_bit <- true;
         tr t "spt-bit" "SPT established for (%s, %s)" (Addr.to_string src) (Group.to_string g);
         divergence_prune t e;
-        forward_data t pkt ~olist:(effective_olist t e ~exclude:(Some iface))
+        forward_sg t (aux t e) pkt ~olist:(effective_olist t e ~exclude:(Some iface))
       end
       else begin
         (* SPT bit clear: fall back to the shared tree if the packet came
            over it (section 3.5, first exception). *)
         match Fwd.find_star t.fib g with
         | Some star when Some iface = star.Fwd.iif ->
-          forward_data t pkt ~olist:(shared_olist t e ~exclude:(Some iface))
+          forward_sg t (aux t e) pkt ~olist:(shared_olist t e ~exclude:(Some iface))
         | _ ->
           t.stats.data_dropped_iif <- t.stats.data_dropped_iif + 1;
-          tr t "drop" "pre-spt iif check failed (%s,%s) iface %d" (Addr.to_string src) (Group.to_string g) iface
+          ev t
+            (Event.Pkt_drop
+               {
+                 src = Addr.to_string src;
+                 group = Group.to_string g;
+                 iface;
+                 reason = "pre-spt-iif";
+               })
       end)
 
 (* {1 Register path (section 3)} *)
@@ -518,11 +651,23 @@ and originate_data t ~incoming pkt =
             ignore (ensure_sg t g src ~rp_bit:false)
           else if not (register_suppressed t g src rp) then begin
             t.stats.registers_sent <- t.stats.registers_sent + 1;
-            tr t "register" "register (%s, %s) -> RP %s" (Addr.to_string src)
-              (Group.to_string g) (Addr.to_string rp);
+            ev t (Event.Register { group = Group.to_string g; source = Addr.to_string src });
             let reg = Message.register_packet ~src:t.addr ~rp pkt in
             send_unicast t reg
-          end)
+          end
+          else
+            (* Suppression onset stands in for the RP's explicit
+               register-stop (the model infers it from the (S,G) oif state
+               rather than exchanging a message): emit the event once per
+               entry so captures show when encapsulation ceased. *)
+            match Fwd.find_sg t.fib g src with
+            | Some e ->
+              let a = aux t e in
+              if not a.reg_stop_seen then begin
+                a.reg_stop_seen <- true;
+                ev t (Event.Register_stop { group = Group.to_string g; source = Addr.to_string src })
+              end
+            | None -> ())
         rps
     end
 

@@ -36,6 +36,9 @@ type stats = {
   mutable rp_reach_sent : int;
   mutable data_forwarded : int;  (** data-packet link transmissions *)
   mutable data_dropped_iif : int;  (** failed incoming-interface check *)
+  mutable data_dup_suppressed : int;
+      (** shared-tree copies suppressed by the (S,G) identity ring during
+          RP-tree to shortest-path-tree switchover *)
   mutable data_dropped_no_state : int;  (** no matching entry (sparse mode drops) *)
   mutable data_delivered_local : int;  (** handed to local members *)
   mutable unicast_forwarded : int;

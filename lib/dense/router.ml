@@ -2,6 +2,7 @@ module Topology = Pim_graph.Topology
 module Net = Pim_sim.Net
 module Engine = Pim_sim.Engine
 module Trace = Pim_sim.Trace
+module Event = Pim_sim.Event
 module Packet = Pim_net.Packet
 module Addr = Pim_net.Addr
 module Group = Pim_net.Group
@@ -130,6 +131,11 @@ let tr t tag fmt =
   | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
   | Some trc -> Format.kasprintf (fun s -> Trace.log trc ~node:t.node ~tag s) fmt
 
+let ev t event =
+  match t.trace with None -> () | Some trc -> Trace.emit trc ~node:t.node event
+
+let route_of_sg g s = { Event.group = Group.to_string g; source = Some (Addr.to_string s) }
+
 let aux t e =
   let k = Fwd.key e in
   match Hashtbl.find_opt t.auxes k with
@@ -219,7 +225,7 @@ let send_prune_upstream t (e : Fwd.entry) src g =
       a.last_prune_up <- now t;
       a.pruned_upstream <- true;
       t.stats.prunes_sent <- t.stats.prunes_sent + 1;
-      tr t "prune" "prune (%s,%s) -> node %d" (Addr.to_string src) (Group.to_string g) up;
+      ev t (Event.Prune { route = route_of_sg g src; iface });
       let pkt =
         Message.prune_packet ~src:t.addr ~target:(Addr.router up) ~origin:t.node ~source:src
           ~group:g ~holdtime:t.cfg.prune_timeout
@@ -232,7 +238,7 @@ let send_join_upstream t src g =
   | None -> ()
   | Some (iface, up) ->
     t.stats.joins_sent <- t.stats.joins_sent + 1;
-    tr t "join" "join/graft (%s,%s) -> node %d" (Addr.to_string src) (Group.to_string g) up;
+    ev t (Event.Graft { route = route_of_sg g src; iface });
     let pkt =
       Message.join_packet ~src:t.addr ~target:(Addr.router up) ~origin:t.node ~source:src
         ~group:g
@@ -252,7 +258,7 @@ let ensure_entry t g src =
     in
     let e = Fwd.make_sg ~group:g ~source:src ~iif ~expires:(now t +. t.cfg.entry_linger) () in
     Fwd.insert t.fib e;
-    tr t "entry-new" "%a" Fwd.pp_entry e;
+    ev t (Event.Entry_install { route = route_of_sg g src });
     e
 
 let handle_data t ~iface pkt =
@@ -513,7 +519,15 @@ let sweep t =
       in
       List.iter (Hashtbl.remove a.pruned) dead;
       if e.Fwd.expires < n then begin
-        tr t "entry-del" "%a" Fwd.pp_entry e;
+        ev t
+          (Event.Entry_expire
+             {
+               route =
+                 {
+                   Event.group = Group.to_string e.Fwd.group;
+                   source = Option.map Addr.to_string e.Fwd.source;
+                 };
+             });
         Hashtbl.remove t.auxes (Fwd.key e);
         Fwd.remove t.fib e.Fwd.group e.Fwd.source
       end)

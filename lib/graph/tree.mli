@@ -15,10 +15,12 @@ val of_edges : n:int -> (node * node * 'label) list -> 'label t
     from every edge are simply not on the tree. *)
 
 val mem_node : 'label t -> node -> bool
+(** Whether the node lies on the tree (appears in some edge). *)
 
 val n_edges : 'label t -> int
 
 val edges : 'label t -> (node * node * 'label) list
+(** The edge list, as given to {!of_edges}. *)
 
 val path : 'label t -> node -> node -> (node list * 'label list) option
 (** Unique tree path between two on-tree nodes: the node sequence and the

@@ -46,8 +46,10 @@ val create :
     members. *)
 
 val pim : t -> Pim_core.Router.t
+(** The sparse (wide-area) half. *)
 
 val dense : t -> Pim_dense.Router.t
+(** The dense (region) half. *)
 
 val joined_groups : t -> Pim_net.Group.t list
 (** Groups the border has currently joined on the region's behalf. *)

@@ -3,6 +3,7 @@ module Spt = Pim_graph.Spt
 module Net = Pim_sim.Net
 module Engine = Pim_sim.Engine
 module Trace = Pim_sim.Trace
+module Event = Pim_sim.Event
 module Packet = Pim_net.Packet
 module Addr = Pim_net.Addr
 module Group = Pim_net.Group
@@ -157,16 +158,40 @@ let compute_plan t src_router g =
   let on_tree = t.node = src_router || iif <> None in
   { iif; olist; member_here; on_tree }
 
+let ev t event =
+  match t.trace with None -> () | Some trc -> Trace.emit trc ~node:t.node event
+
 let plan_for t src_router g =
   match Hashtbl.find_opt t.cache (src_router, g) with
   | Some p -> p
   | None ->
     let p = compute_plan t src_router g in
     Hashtbl.replace t.cache (src_router, g) p;
+    (* The on-demand Dijkstra result is MOSPF's forwarding state; caching
+       it is this protocol's analogue of a PIM entry install. *)
+    ev t
+      (Event.Entry_install
+         {
+           route =
+             {
+               Event.group = Group.to_string g;
+               source = Some (Addr.to_string (Addr.router src_router));
+             };
+         });
     p
 
 let local_deliver t pkt =
   t.stats.data_delivered_local <- t.stats.data_delivered_local + 1;
+  (match Mdata.group pkt with
+  | Some g ->
+    ev t
+      (Event.Pkt_deliver
+         {
+           src = Addr.to_string pkt.Packet.src;
+           group = Group.to_string g;
+           iface = -1;
+         })
+  | None -> ());
   Pim_util.Vec.iter (fun f -> f pkt) t.local_cbs
 
 let forward t pkt olist =

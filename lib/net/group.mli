@@ -7,6 +7,7 @@
 type t
 
 val compare : t -> t -> int
+(** Structural order on the underlying address. *)
 
 val equal : t -> t -> bool
 
@@ -19,6 +20,7 @@ val of_addr_exn : Addr.t -> t
 (** @raise Invalid_argument if the address is not multicast. *)
 
 val to_addr : t -> Addr.t
+(** The group as a plain address (for packet destinations). *)
 
 val of_index : int -> t
 (** [of_index k] is the [k]-th simulated group address (in 225.0.0.0/8,

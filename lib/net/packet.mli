@@ -24,8 +24,10 @@ type t = {
 }
 
 val unicast : src:Addr.t -> dst:Addr.t -> ?ttl:int -> size:int -> payload -> t
+(** Build a unicast packet (default [ttl] 64). *)
 
 val multicast : src:Addr.t -> group:Group.t -> ?ttl:int -> size:int -> payload -> t
+(** Build a multicast packet addressed to [group] (default [ttl] 64). *)
 
 val decr_ttl : t -> t option
 (** [None] when the TTL is exhausted. *)
@@ -35,5 +37,8 @@ val register_printer : (payload -> string option) -> unit
     traces stay readable. *)
 
 val payload_to_string : payload -> string
+(** Render via the registered printers; the first token is the payload
+    kind (e.g. ["data"], ["pim-jp"]), which the packet-capture layer
+    keys on. *)
 
 val pp : Format.formatter -> t -> unit

@@ -11,14 +11,18 @@ val make : Addr.t -> int -> t
     (host bits are zeroed).  [len] must be in [\[0, 32\]]. *)
 
 val network : t -> Addr.t
+(** The network address (host bits zero). *)
 
 val length : t -> int
+(** The prefix length in bits. *)
 
 val compare : t -> t -> int
+(** Total order: by network address, then by length (shorter first). *)
 
 val equal : t -> t -> bool
 
 val contains : t -> Addr.t -> bool
+(** [contains p a] is true when [a]'s leading [length p] bits match. *)
 
 val subsumes : t -> t -> bool
 (** [subsumes p q] is true when every address matched by [q] is matched by

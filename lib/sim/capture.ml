@@ -1,0 +1,177 @@
+module Json = Pim_util.Json
+module Packet = Pim_net.Packet
+module Topology = Pim_graph.Topology
+
+type phase = [ `Send | `Deliver | `Drop ]
+
+type entry = {
+  time : float;
+  phase : phase;
+  link : int;
+  node_a : int;
+  node_b : int;
+  src : string;
+  dst : string;
+  kind : string;
+  info : string;
+  size : int;
+}
+
+type t = {
+  net : Net.t;
+  mutable recorded : entry list;  (* reversed *)
+}
+
+let phase_to_string = function `Send -> "send" | `Deliver -> "deliver" | `Drop -> "drop"
+
+let phase_of_string = function
+  | "send" -> Some `Send
+  | "deliver" -> Some `Deliver
+  | "drop" -> Some `Drop
+  | _ -> None
+
+let dst_string pkt =
+  match pkt.Packet.dst with
+  | Packet.Unicast a -> Pim_net.Addr.to_string a
+  | Packet.Multicast g -> Pim_net.Group.to_string g
+
+let first_token s =
+  match String.index_opt s ' ' with Some i -> String.sub s 0 i | None -> s
+
+let make_entry net phase lid pkt =
+  let topo = Net.topo net in
+  let link = Topology.link topo lid in
+  let a = link.Topology.ends.(0) and b = link.Topology.ends.(1) in
+  let info = Packet.payload_to_string pkt.Packet.payload in
+  {
+    time = Engine.now (Net.engine net);
+    phase;
+    link = lid;
+    node_a = min a b;
+    node_b = max a b;
+    src = Pim_net.Addr.to_string pkt.Packet.src;
+    dst = dst_string pkt;
+    kind = first_token info;
+    info;
+    size = pkt.Packet.size;
+  }
+
+let attach net =
+  let t = { net; recorded = [] } in
+  let record phase lid pkt = t.recorded <- make_entry net phase lid pkt :: t.recorded in
+  Net.on_send net (record `Send);
+  Net.on_deliver net (record `Deliver);
+  Net.on_drop net (record `Drop);
+  t
+
+let entries t = List.rev t.recorded
+
+let clear t = t.recorded <- []
+
+let filter ?node ?group ?kind ?phase ?t_min ?t_max es =
+  let keep e =
+    (match node with Some n -> e.node_a = n || e.node_b = n | None -> true)
+    && (match group with Some g -> String.equal e.dst g | None -> true)
+    && (match kind with Some k -> String.equal e.kind k | None -> true)
+    && (match phase with
+       | Some p -> String.equal (phase_to_string e.phase) (phase_to_string p)
+       | None -> true)
+    && (match t_min with Some lo -> e.time >= lo | None -> true)
+    && match t_max with Some hi -> e.time <= hi | None -> true
+  in
+  List.filter keep es
+
+let entry_to_json e =
+  Json.Obj
+    [
+      ("t", Json.Float e.time);
+      ("phase", Json.Str (phase_to_string e.phase));
+      ("link", Json.Int e.link);
+      ("a", Json.Int e.node_a);
+      ("b", Json.Int e.node_b);
+      ("src", Json.Str e.src);
+      ("dst", Json.Str e.dst);
+      ("kind", Json.Str e.kind);
+      ("info", Json.Str e.info);
+      ("size", Json.Int e.size);
+    ]
+
+let field name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let entry_of_json j =
+  let* time = field "t" Json.to_float j in
+  let* phase_s = field "phase" Json.to_str j in
+  let* phase =
+    match phase_of_string phase_s with
+    | Some p -> Ok p
+    | None -> Error (Printf.sprintf "unknown phase %S" phase_s)
+  in
+  let* link = field "link" Json.to_int j in
+  let* node_a = field "a" Json.to_int j in
+  let* node_b = field "b" Json.to_int j in
+  let* src = field "src" Json.to_str j in
+  let* dst = field "dst" Json.to_str j in
+  let* kind = field "kind" Json.to_str j in
+  let* info = field "info" Json.to_str j in
+  let* size = field "size" Json.to_int j in
+  Ok { time; phase; link; node_a; node_b; src; dst; kind; info; size }
+
+let save path es =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter (fun e -> output_string oc (Json.to_string (entry_to_json e) ^ "\n")) es)
+
+let load path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go lineno acc =
+        match In_channel.input_line ic with
+        | None -> Ok (List.rev acc)
+        | Some "" -> go (lineno + 1) acc
+        | Some line -> (
+          match Json.of_string line with
+          | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+          | Ok j -> (
+            match entry_of_json j with
+            | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+            | Ok e -> go (lineno + 1) (e :: acc)))
+      in
+      go 1 [])
+
+(* Multiset difference keyed on the canonical serialized line, so no
+   polymorphic comparison is involved and the notion of equality is
+   exactly "same JSONL line". *)
+let subtract xs ys =
+  let counts = Hashtbl.create 64 in
+  let key e = Json.to_string (entry_to_json e) in
+  List.iter
+    (fun e ->
+      let k = key e in
+      Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+    ys;
+  List.filter
+    (fun e ->
+      let k = key e in
+      match Hashtbl.find_opt counts k with
+      | Some n when n > 0 ->
+        Hashtbl.replace counts k (n - 1);
+        false
+      | _ -> true)
+    xs
+
+let diff a b = (subtract a b, subtract b a)
+
+let pp_entry ppf e =
+  Format.fprintf ppf "%8.3f %-7s link %d (%d-%d) %s -> %s  %s [%dB]" e.time
+    (phase_to_string e.phase) e.link e.node_a e.node_b e.src e.dst e.info e.size

@@ -1,0 +1,74 @@
+(** Packet-level capture ("pcap" for the simulator).
+
+    Attached to a {!Net}, a capture records every frame's life on every
+    link: one [`Send] entry when a transmission is accepted, then either a
+    [`Deliver] entry when propagation completes or a [`Drop] entry when
+    the frame dies (loss rate, or the link failed mid-flight).  Entries
+    carry the virtual timestamp, the link and its endpoints, and a packet
+    summary (source, destination, modelled size, and the payload's
+    registered printer output), so a capture can be filtered by node,
+    group, payload kind, or time window, and two captures can be diffed —
+    the workflow [pimsim trace] exposes on the command line.
+
+    Captures serialize to JSONL (one entry per line, chronological).
+    Under a fixed seed the simulator is deterministic, so two runs of the
+    same scenario produce byte-identical capture files; this is part of
+    the reproducibility contract (EXPERIMENTS.md). *)
+
+type phase = [ `Send | `Deliver | `Drop ]
+
+type entry = {
+  time : float;
+  phase : phase;
+  link : int;
+  node_a : int;  (** lower-numbered link endpoint *)
+  node_b : int;  (** higher-numbered link endpoint *)
+  src : string;
+  dst : string;  (** group address for multicast, unicast address otherwise *)
+  kind : string;  (** first token of the payload summary, e.g. ["data"] *)
+  info : string;  (** full payload summary, e.g. ["data seq=22"] *)
+  size : int;
+}
+
+type t
+
+val attach : Net.t -> t
+(** Subscribe to the network's send/deliver/drop hooks and start
+    recording.  Multiple captures on one net are independent. *)
+
+val entries : t -> entry list
+(** Chronological. *)
+
+val clear : t -> unit
+
+val filter :
+  ?node:int ->
+  ?group:string ->
+  ?kind:string ->
+  ?phase:phase ->
+  ?t_min:float ->
+  ?t_max:float ->
+  entry list ->
+  entry list
+(** Keep entries matching every given criterion: [node] matches either
+    link endpoint, [group] the destination, [kind] the payload class,
+    and [t_min]/[t_max] an inclusive time window. *)
+
+val entry_to_json : entry -> Pim_util.Json.t
+
+val entry_of_json : Pim_util.Json.t -> (entry, string) result
+
+val save : string -> entry list -> unit
+(** Write JSONL (one compact object per line). *)
+
+val load : string -> (entry list, string) result
+(** Parse a JSONL capture file; the error names the offending line. *)
+
+val diff : entry list -> entry list -> entry list * entry list
+(** [diff a b] is [(only_in_a, only_in_b)] as multisets: entries are
+    matched by full structural equality, and an entry appearing [n] times
+    in [a] but [m < n] times in [b] contributes [n - m] copies to
+    [only_in_a].  Order within each result follows the first argument's
+    (respectively second argument's) order. *)
+
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,191 @@
+module Json = Pim_util.Json
+
+type route = {
+  group : string;
+  source : string option;
+}
+
+type t =
+  | Join of { route : route; iface : int }
+  | Prune of { route : route; iface : int }
+  | Graft of { route : route; iface : int }
+  | Register of { group : string; source : string }
+  | Register_stop of { group : string; source : string }
+  | Spt_switch of { group : string; source : string }
+  | Assert of { group : string; iface : int; winner : int }
+  | Entry_install of { route : route }
+  | Entry_expire of { route : route }
+  | Pkt_send of { src : string; group : string; iface : int }
+  | Pkt_deliver of { src : string; group : string; iface : int }
+  | Pkt_drop of { src : string; group : string; iface : int; reason : string }
+
+let tag = function
+  | Join _ -> "join"
+  | Prune _ -> "prune"
+  | Graft _ -> "graft"
+  | Register _ -> "register"
+  | Register_stop _ -> "register-stop"
+  | Spt_switch _ -> "spt-switch"
+  | Assert _ -> "assert"
+  | Entry_install _ -> "entry-new"
+  | Entry_expire _ -> "entry-del"
+  | Pkt_send _ -> "fwd"
+  | Pkt_deliver _ -> "deliver"
+  | Pkt_drop _ -> "drop"
+
+let route_equal a b =
+  String.equal a.group b.group
+  &&
+  match (a.source, b.source) with
+  | None, None -> true
+  | Some x, Some y -> String.equal x y
+  | _ -> false
+
+let routed_equal ra ia rb ib = route_equal ra rb && Int.equal ia ib
+
+let sg_equal ga sa gb sb = String.equal ga gb && String.equal sa sb
+
+let pkt_equal (sa, ga, ia) (sb, gb, ib) =
+  String.equal sa sb && String.equal ga gb && Int.equal ia ib
+
+let equal a b =
+  match (a, b) with
+  | Join x, Join y -> routed_equal x.route x.iface y.route y.iface
+  | Prune x, Prune y -> routed_equal x.route x.iface y.route y.iface
+  | Graft x, Graft y -> routed_equal x.route x.iface y.route y.iface
+  | Register x, Register y -> sg_equal x.group x.source y.group y.source
+  | Register_stop x, Register_stop y -> sg_equal x.group x.source y.group y.source
+  | Spt_switch x, Spt_switch y -> sg_equal x.group x.source y.group y.source
+  | Assert x, Assert y ->
+    String.equal x.group y.group && Int.equal x.iface y.iface && Int.equal x.winner y.winner
+  | Entry_install x, Entry_install y -> route_equal x.route y.route
+  | Entry_expire x, Entry_expire y -> route_equal x.route y.route
+  | Pkt_send x, Pkt_send y -> pkt_equal (x.src, x.group, x.iface) (y.src, y.group, y.iface)
+  | Pkt_deliver x, Pkt_deliver y -> pkt_equal (x.src, x.group, x.iface) (y.src, y.group, y.iface)
+  | Pkt_drop x, Pkt_drop y ->
+    pkt_equal (x.src, x.group, x.iface) (y.src, y.group, y.iface)
+    && String.equal x.reason y.reason
+  | ( ( Join _ | Prune _ | Graft _ | Register _ | Register_stop _ | Spt_switch _ | Assert _
+      | Entry_install _ | Entry_expire _ | Pkt_send _ | Pkt_deliver _ | Pkt_drop _ ),
+      _ ) ->
+    false
+
+let pp_route ppf r =
+  match r.source with
+  | Some s -> Format.fprintf ppf "(%s, %s)" s r.group
+  | None -> Format.fprintf ppf "(*, %s)" r.group
+
+let pp ppf = function
+  | Join e -> Format.fprintf ppf "join %a iface %d" pp_route e.route e.iface
+  | Prune e -> Format.fprintf ppf "prune %a iface %d" pp_route e.route e.iface
+  | Graft e -> Format.fprintf ppf "graft %a iface %d" pp_route e.route e.iface
+  | Register e -> Format.fprintf ppf "register (%s, %s)" e.source e.group
+  | Register_stop e -> Format.fprintf ppf "register-stop (%s, %s)" e.source e.group
+  | Spt_switch e -> Format.fprintf ppf "spt switch (%s, %s)" e.source e.group
+  | Assert e -> Format.fprintf ppf "assert %s iface %d winner %d" e.group e.iface e.winner
+  (* No keyword prefix: the tag already says install/expire, and tooling
+     that keys on the route designator reads the detail verbatim. *)
+  | Entry_install e -> Format.fprintf ppf "%a" pp_route e.route
+  | Entry_expire e -> Format.fprintf ppf "%a" pp_route e.route
+  | Pkt_send e -> Format.fprintf ppf "send (%s, %s) iface %d" e.src e.group e.iface
+  | Pkt_deliver e -> Format.fprintf ppf "deliver (%s, %s) iface %d" e.src e.group e.iface
+  | Pkt_drop e ->
+    Format.fprintf ppf "drop (%s, %s) iface %d: %s" e.src e.group e.iface e.reason
+
+let route_fields r =
+  [
+    ("group", Json.Str r.group);
+    ("source", match r.source with Some s -> Json.Str s | None -> Json.Null);
+  ]
+
+let to_json ev =
+  let typed name fields = Json.Obj (("type", Json.Str name) :: fields) in
+  match ev with
+  | Join e -> typed "join" (route_fields e.route @ [ ("iface", Json.Int e.iface) ])
+  | Prune e -> typed "prune" (route_fields e.route @ [ ("iface", Json.Int e.iface) ])
+  | Graft e -> typed "graft" (route_fields e.route @ [ ("iface", Json.Int e.iface) ])
+  | Register e -> typed "register" [ ("group", Json.Str e.group); ("source", Json.Str e.source) ]
+  | Register_stop e ->
+    typed "register-stop" [ ("group", Json.Str e.group); ("source", Json.Str e.source) ]
+  | Spt_switch e ->
+    typed "spt-switch" [ ("group", Json.Str e.group); ("source", Json.Str e.source) ]
+  | Assert e ->
+    typed "assert"
+      [ ("group", Json.Str e.group); ("iface", Json.Int e.iface); ("winner", Json.Int e.winner) ]
+  | Entry_install e -> typed "entry-install" (route_fields e.route)
+  | Entry_expire e -> typed "entry-expire" (route_fields e.route)
+  | Pkt_send e ->
+    typed "pkt-send"
+      [ ("src", Json.Str e.src); ("group", Json.Str e.group); ("iface", Json.Int e.iface) ]
+  | Pkt_deliver e ->
+    typed "pkt-deliver"
+      [ ("src", Json.Str e.src); ("group", Json.Str e.group); ("iface", Json.Int e.iface) ]
+  | Pkt_drop e ->
+    typed "pkt-drop"
+      [
+        ("src", Json.Str e.src);
+        ("group", Json.Str e.group);
+        ("iface", Json.Int e.iface);
+        ("reason", Json.Str e.reason);
+      ]
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let str_field j name =
+  match Option.bind (Json.member name j) Json.to_str with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "missing or non-string field %S" name)
+
+let int_field j name =
+  match Option.bind (Json.member name j) Json.to_int with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "missing or non-integer field %S" name)
+
+let route_of j =
+  let* group = str_field j "group" in
+  match Json.member "source" j with
+  | Some Json.Null -> Ok { group; source = None }
+  | Some (Json.Str s) -> Ok { group; source = Some s }
+  | _ -> Error "missing or ill-typed field \"source\""
+
+let of_json j =
+  let* ty = str_field j "type" in
+  match ty with
+  | "join" | "prune" | "graft" ->
+    let* route = route_of j in
+    let* iface = int_field j "iface" in
+    Ok
+      (match ty with
+      | "join" -> Join { route; iface }
+      | "prune" -> Prune { route; iface }
+      | _ -> Graft { route; iface })
+  | "register" | "register-stop" | "spt-switch" ->
+    let* group = str_field j "group" in
+    let* source = str_field j "source" in
+    Ok
+      (match ty with
+      | "register" -> Register { group; source }
+      | "register-stop" -> Register_stop { group; source }
+      | _ -> Spt_switch { group; source })
+  | "assert" ->
+    let* group = str_field j "group" in
+    let* iface = int_field j "iface" in
+    let* winner = int_field j "winner" in
+    Ok (Assert { group; iface; winner })
+  | "entry-install" | "entry-expire" ->
+    let* route = route_of j in
+    Ok (if String.equal ty "entry-install" then Entry_install { route } else Entry_expire { route })
+  | "pkt-send" | "pkt-deliver" ->
+    let* src = str_field j "src" in
+    let* group = str_field j "group" in
+    let* iface = int_field j "iface" in
+    Ok
+      (if String.equal ty "pkt-send" then Pkt_send { src; group; iface }
+       else Pkt_deliver { src; group; iface })
+  | "pkt-drop" ->
+    let* src = str_field j "src" in
+    let* group = str_field j "group" in
+    let* iface = int_field j "iface" in
+    let* reason = str_field j "reason" in
+    Ok (Pkt_drop { src; group; iface; reason })
+  | other -> Error (Printf.sprintf "unknown event type %S" other)

@@ -1,0 +1,64 @@
+(** Typed protocol events.
+
+    The structured counterpart of the free-form string trace: each
+    constructor captures one protocol decision with enough detail to
+    attribute a delivered, duplicated, or dropped packet to it (the
+    analysis the paper's Figure 2 evaluation relies on, and the one that
+    diagnosed the RP-tree/SPT switchover loss — see ARCHITECTURE.md).
+
+    This module lives below the protocol libraries, so addresses and
+    groups appear in their string rendering ([Pim_net.Addr.to_string] /
+    [Pim_net.Group.to_string]); interface numbers are the per-node
+    interface indices of {!Net}, with [-1] denoting the synthetic local
+    (host-facing) interface.
+
+    Events serialize to single-line JSON and parse back losslessly —
+    {!of_json} is a total inverse of {!to_json} — so captures written as
+    JSONL can be re-read by [pimsim trace] and by the replay harness. *)
+
+type route = {
+  group : string;
+  source : string option;  (** [None] for shared-tree (star,G) state *)
+}
+(** An (S,G) or shared-tree (star,G) route designator. *)
+
+type t =
+  | Join of { route : route; iface : int }
+      (** Join-list entry accepted from [iface] (or scheduled upstream). *)
+  | Prune of { route : route; iface : int }
+      (** Prune-list entry accepted from [iface]. *)
+  | Graft of { route : route; iface : int }
+      (** Dense-mode graft re-attaching [iface]. *)
+  | Register of { group : string; source : string }
+      (** DR encapsulated a packet from [source] towards the RP. *)
+  | Register_stop of { group : string; source : string }
+      (** RP told the DR to stop encapsulating. *)
+  | Spt_switch of { group : string; source : string }
+      (** RP-tree to shortest-path-tree transition completed (spt-bit set). *)
+  | Assert of { group : string; iface : int; winner : int }
+      (** Assert election on a LAN; [winner] is the elected forwarder. *)
+  | Entry_install of { route : route }  (** Forwarding entry created. *)
+  | Entry_expire of { route : route }  (** Forwarding entry timed out / deleted. *)
+  | Pkt_send of { src : string; group : string; iface : int }
+      (** Data packet transmitted out [iface]. *)
+  | Pkt_deliver of { src : string; group : string; iface : int }
+      (** Data packet handed to local members ([iface] it arrived on). *)
+  | Pkt_drop of { src : string; group : string; iface : int; reason : string }
+      (** Data packet discarded; [reason] is a stable keyword
+          (e.g. ["iif"], ["no-state"], ["dup"], ["ttl"]). *)
+
+val tag : t -> string
+(** Short event-class keyword, identical to the tag the string trace uses
+    for the same occurrence (["join"], ["spt-switch"], ["drop"], ...). *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable one-line rendering (the string trace's detail field). *)
+
+val to_json : t -> Pim_util.Json.t
+(** One flat object with a ["type"] discriminator. *)
+
+val of_json : Pim_util.Json.t -> (t, string) result
+(** Inverse of {!to_json}; the error names the missing or ill-typed
+    field. *)

@@ -19,6 +19,12 @@ type t = {
   mutable hosts : host array;
   link_subs : (Topology.link_id -> bool -> unit) Vec.t;
   deliver_subs : (Topology.link_id -> Packet.t -> unit) Vec.t;
+  send_subs : (Topology.link_id -> Packet.t -> unit) Vec.t;
+  drop_subs : (Topology.link_id -> Packet.t -> unit) Vec.t;
+  metrics : Pim_util.Metrics.t;
+  m_offered : Pim_util.Metrics.counter;
+  m_delivered : Pim_util.Metrics.counter;
+  m_dropped : Pim_util.Metrics.counter;
   counts : int array;
   mutable offered : int;
   mutable loss_rate : float;
@@ -30,6 +36,7 @@ type t = {
 }
 
 let create eng topo =
+  let metrics = Pim_util.Metrics.create () in
   {
     eng;
     topo;
@@ -39,6 +46,12 @@ let create eng topo =
     hosts = [||];
     link_subs = Vec.create ();
     deliver_subs = Vec.create ();
+    send_subs = Vec.create ();
+    drop_subs = Vec.create ();
+    metrics;
+    m_offered = Pim_util.Metrics.counter metrics "net_offered";
+    m_delivered = Pim_util.Metrics.counter metrics "net_delivered";
+    m_dropped = Pim_util.Metrics.counter metrics "net_dropped";
     counts = Array.make (Topology.n_links topo) 0;
     offered = 0;
     loss_rate = 0.;
@@ -78,6 +91,12 @@ let on_link_change t f = Vec.push t.link_subs f
 
 let on_deliver t f = Vec.push t.deliver_subs f
 
+let on_send t f = Vec.push t.send_subs f
+
+let on_drop t f = Vec.push t.drop_subs f
+
+let metrics t = t.metrics
+
 let traversals t lid = t.counts.(lid)
 
 let total_traversals t = Array.fold_left ( + ) 0 t.counts
@@ -106,16 +125,27 @@ let jitter t = t.jitter
 
 let transmit t ~from_node ~lid ~to_node pkt =
   t.offered <- t.offered + 1;
+  Pim_util.Metrics.incr t.m_offered;
+  Vec.iter (fun f -> f lid pkt) t.send_subs;
   if t.loss_rate > 0. && t.loss_filter pkt && Pim_util.Prng.float t.loss_prng 1.0 < t.loss_rate
-  then t.dropped <- t.dropped + 1
+  then begin
+    t.dropped <- t.dropped + 1;
+    Pim_util.Metrics.incr t.m_dropped;
+    Vec.iter (fun f -> f lid pkt) t.drop_subs
+  end
   else
   let link = Topology.link t.topo lid in
   let deliver () =
     (* The frame only counts as a traversal if the link is still up when
        propagation completes — a frame in flight on a link that died is
        lost, and must not inflate the overhead metrics. *)
-    if t.link_state.(lid) then begin
+    if not t.link_state.(lid) then begin
+      Pim_util.Metrics.incr t.m_dropped;
+      Vec.iter (fun f -> f lid pkt) t.drop_subs
+    end
+    else begin
       t.counts.(lid) <- t.counts.(lid) + 1;
+      Pim_util.Metrics.incr t.m_delivered;
       Vec.iter (fun f -> f lid pkt) t.deliver_subs;
       let routers =
         match to_node with

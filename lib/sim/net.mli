@@ -86,6 +86,24 @@ val on_link_change : t -> (Pim_graph.Topology.link_id -> bool -> unit) -> unit
 (** Subscribe to link up/down transitions (unicast protocols re-converge,
     PIM re-runs its RPF checks — section 3.8). *)
 
+val on_send : t -> (Pim_graph.Topology.link_id -> Pim_net.Packet.t -> unit) -> unit
+(** Observe every transmission accepted onto a link, at send time and
+    before the loss roll — the capture layer's view of offered load.
+    Together with {!on_deliver} and {!on_drop} every frame's fate is
+    observable: sent, then either delivered or dropped. *)
+
+val on_drop : t -> (Pim_graph.Topology.link_id -> Pim_net.Packet.t -> unit) -> unit
+(** Observe frames that die in the network: lost to {!set_loss_rate} at
+    send time, or in flight on a link that went down (reported at what
+    would have been delivery time). *)
+
+val metrics : t -> Pim_util.Metrics.t
+(** The network's metrics registry.  [Net] itself maintains the
+    [net_offered] / [net_delivered] / [net_dropped] counters; protocol
+    routers register their per-node/per-group instruments against the
+    same registry, and experiments export it as JSON (see
+    EXPERIMENTS.md). *)
+
 val on_deliver : t -> (Pim_graph.Topology.link_id -> Pim_net.Packet.t -> unit) -> unit
 (** Observe every completed link traversal (one call per delivered
     transmission, not per receiver, at delivery time) — the hook the

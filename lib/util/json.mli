@@ -1,8 +1,9 @@
-(** Minimal JSON writer (no parser, no dependencies).
+(** Minimal JSON reader/writer (no dependencies).
 
-    Backs the machine-readable bench baseline ([BENCH_fig2.json]) and the
-    [--json] modes of the bench harness and [pimsim].  Non-finite floats are
-    emitted as [null] so the output always parses. *)
+    Backs the machine-readable bench baseline ([BENCH_fig2.json]), the
+    [--json] modes of the bench harness and [pimsim], and the typed-event /
+    packet-capture round-trips of the observability layer.  Non-finite
+    floats are emitted as [null] so the output always parses. *)
 
 type t =
   | Null
@@ -19,3 +20,22 @@ val to_string : ?indent:bool -> t -> string
 
 val to_file : string -> t -> unit
 (** Write pretty-printed JSON plus a trailing newline to a file. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value.  Rejects trailing garbage.  Numbers with a
+    fraction or exponent become [Float]; plain integers become [Int]
+    (falling back to [Float] on overflow).  The error string includes the
+    byte offset of the failure. *)
+
+val of_string_exn : string -> t
+(** Like {!of_string} but raises [Invalid_argument] on malformed input. *)
+
+val member : string -> t -> t option
+(** [member name v] is field [name] of object [v], if present. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+(** [to_float] also accepts [Int] (promoted). *)
+
+val to_str : t -> string option
+val to_list : t -> t list option

@@ -1,0 +1,122 @@
+type counter = { mutable count : int }
+
+type gauge = { mutable value : float }
+
+type histogram = {
+  mutable samples : float list;  (* reversed *)
+  mutable n : int;
+}
+
+type key = {
+  name : string;
+  labels : (string * string) list;  (* sorted by label name *)
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type t = { instruments : (key, instrument) Hashtbl.t }
+
+let create () = { instruments = Hashtbl.create 64 }
+
+let compare_label (ka, _) (kb, _) = String.compare ka kb
+
+let key name labels = { name; labels = List.sort compare_label labels }
+
+let lookup t ~name ~labels ~make ~cast =
+  let k = key name labels in
+  match Hashtbl.find_opt t.instruments k with
+  | Some inst -> cast inst
+  | None ->
+    let inst = make () in
+    Hashtbl.replace t.instruments k inst;
+    cast inst
+
+let counter t ?(labels = []) name =
+  lookup t ~name ~labels
+    ~make:(fun () -> Counter { count = 0 })
+    ~cast:(function
+      | Counter c -> c
+      | Gauge _ | Histogram _ -> invalid_arg ("Metrics.counter: " ^ name ^ " registered with another type"))
+
+let gauge t ?(labels = []) name =
+  lookup t ~name ~labels
+    ~make:(fun () -> Gauge { value = 0. })
+    ~cast:(function
+      | Gauge g -> g
+      | Counter _ | Histogram _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " registered with another type"))
+
+let histogram t ?(labels = []) name =
+  lookup t ~name ~labels
+    ~make:(fun () -> Histogram { samples = []; n = 0 })
+    ~cast:(function
+      | Histogram h -> h
+      | Counter _ | Gauge _ ->
+        invalid_arg ("Metrics.histogram: " ^ name ^ " registered with another type"))
+
+let incr ?(by = 1) c = c.count <- c.count + by
+
+let counter_value c = c.count
+
+let set g v = g.value <- v
+
+let gauge_value g = g.value
+
+let observe h v =
+  h.samples <- v :: h.samples;
+  h.n <- h.n + 1
+
+let histogram_count h = h.n
+
+let histogram_summary h = Stats.summarize (List.rev h.samples)
+
+let compare_key a b =
+  match String.compare a.name b.name with
+  | 0 ->
+    List.compare
+      (fun (ka, va) (kb, vb) ->
+        match String.compare ka kb with 0 -> String.compare va vb | c -> c)
+      a.labels b.labels
+  | c -> c
+
+let labels_json labels = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) labels)
+
+let to_json t =
+  (* Collect then sort: hashtable order must not leak into the export. *)
+  let all =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.instruments []
+    |> List.sort (fun (a, _) (b, _) -> compare_key a b)
+  in
+  let entry k fields = Json.Obj (("name", Json.Str k.name) :: ("labels", labels_json k.labels) :: fields) in
+  let counters, gauges, histograms =
+    List.fold_left
+      (fun (cs, gs, hs) (k, inst) ->
+        match inst with
+        | Counter c -> (entry k [ ("value", Json.Int c.count) ] :: cs, gs, hs)
+        | Gauge g -> (cs, entry k [ ("value", Json.Float g.value) ] :: gs, hs)
+        | Histogram h ->
+          let s = histogram_summary h in
+          ( cs,
+            gs,
+            entry k
+              [
+                ("n", Json.Int s.Stats.n);
+                ("mean", Json.Float s.Stats.mean);
+                ("stddev", Json.Float s.Stats.stddev);
+                ("min", Json.Float s.Stats.min);
+                ("max", Json.Float s.Stats.max);
+                ("p50", Json.Float s.Stats.p50);
+                ("p95", Json.Float s.Stats.p95);
+              ]
+            :: hs ))
+      ([], [], []) all
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str "pim-metrics/1");
+      ("counters", Json.Arr (List.rev counters));
+      ("gauges", Json.Arr (List.rev gauges));
+      ("histograms", Json.Arr (List.rev histograms));
+    ]

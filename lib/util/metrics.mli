@@ -1,0 +1,49 @@
+(** Labelled metrics registry: counters, gauges, histograms.
+
+    The observability layer's quantitative half.  Instruments are created
+    (or looked up — creation is idempotent per name + label set) against a
+    registry; protocols label instruments with the router node and group
+    they describe, which is how the per-router/per-group breakdowns in the
+    exported JSON arise.  Histogram summaries reuse {!Stats.summarize}.
+
+    {!to_json} renders the whole registry sorted by name then labels, so
+    exports are byte-identical across runs regardless of registration
+    order (the same reproducibility contract as the bench baseline). *)
+
+type t
+(** A registry. *)
+
+val create : unit -> t
+
+type counter
+type gauge
+type histogram
+
+val counter : t -> ?labels:(string * string) list -> string -> counter
+(** Look up or create.  Labels are sorted internally; supplying the same
+    set in any order yields the same instrument. *)
+
+val gauge : t -> ?labels:(string * string) list -> string -> gauge
+
+val histogram : t -> ?labels:(string * string) list -> string -> histogram
+
+val incr : ?by:int -> counter -> unit
+(** Add [by] (default 1). *)
+
+val counter_value : counter -> int
+
+val set : gauge -> float -> unit
+
+val gauge_value : gauge -> float
+
+val observe : histogram -> float -> unit
+
+val histogram_count : histogram -> int
+
+val histogram_summary : histogram -> Stats.summary
+(** Summarize the samples observed so far. *)
+
+val to_json : t -> Json.t
+(** [{"schema": "pim-metrics/1", "counters": [...], "gauges": [...],
+    "histograms": [...]}], each instrument as an object with [name],
+    [labels] and its value(s); deterministically ordered. *)

@@ -136,6 +136,29 @@ let test_fig2b_digest () =
   in
   Alcotest.(check string) "fig2b twice: identical report" (go ()) (go ())
 
+(* Same property for the observability artifacts: one scenario replay,
+   all three output files (packet capture, typed trace, metrics JSON)
+   byte-identical across runs of the same seed. *)
+let test_capture_digest () =
+  let go () =
+    let tmp suffix = Filename.temp_file "pim_digest" suffix in
+    let cap = tmp ".cap.jsonl" and tr = tmp ".trace.jsonl" and met = tmp ".metrics.json" in
+    Fun.protect
+      ~finally:(fun () -> List.iter Sys.remove [ cap; tr; met ])
+      (fun () ->
+        ignore
+          (Pim_exp.Scenario.run ~capture_file:cap ~trace_file:tr ~metrics_file:met
+             (Pim_exp.Scenario.default_spec ~seed:56517 ~member_count:6));
+        List.map (fun p -> In_channel.with_open_bin p In_channel.input_all) [ cap; tr; met ])
+  in
+  match (go (), go ()) with
+  | [ cap_a; tr_a; met_a ], [ cap_b; tr_b; met_b ] ->
+    Alcotest.(check string) "capture twice: identical" cap_a cap_b;
+    Alcotest.(check string) "trace twice: identical" tr_a tr_b;
+    Alcotest.(check string) "metrics twice: identical" met_a met_b;
+    Alcotest.(check bool) "capture not empty" true (String.length cap_a > 0)
+  | _ -> assert false
+
 let () =
   Alcotest.run "pim_lint"
     [
@@ -153,5 +176,6 @@ let () =
           Alcotest.test_case "chaos double run" `Quick test_chaos_digest;
           Alcotest.test_case "fig2a double run" `Quick test_fig2a_digest;
           Alcotest.test_case "fig2b double run" `Quick test_fig2b_digest;
+          Alcotest.test_case "capture/trace/metrics double run" `Quick test_capture_digest;
         ] );
     ]

@@ -1,16 +1,10 @@
-(* Pin the qcheck exploration seed so [dune runtest] draws the same property
-   cases on every run; export QCHECK_SEED to explore a different slice of the
-   input space. *)
-let qcheck_rand () =
-  let seed =
-    match Sys.getenv_opt "QCHECK_SEED" with
-    | Some s -> ( try int_of_string s with _ -> 1994)
-    | None -> 1994
-  in
-  Random.State.make [| seed |]
-
 (* Integration tests for the PIM sparse-mode protocol (Pim_core), one per
-   mechanism of section 3 of the paper. *)
+   mechanism of section 3 of the paper.
+
+   The random-scenario property below runs unpinned: qcheck-alcotest honours
+   QCHECK_SEED natively, so every CI run explores a fresh slice of the input
+   space.  The counterexample the pinned era surfaced (seed=56517, the
+   RP-tree/SPT switchover loss) is preserved, shrunk, in test_replay.ml. *)
 
 module Engine = Pim_sim.Engine
 module Net = Pim_sim.Net
@@ -745,7 +739,7 @@ let () =
         [
           Alcotest.test_case "group isolation" `Quick test_group_isolation;
           Alcotest.test_case "no duplicates on random graphs" `Slow test_no_duplicates_random;
-          QCheck_alcotest.to_alcotest ~rand:(qcheck_rand ()) prop_random_scenario;
+          QCheck_alcotest.to_alcotest prop_random_scenario;
           Alcotest.test_case "rp is dr" `Quick test_rp_is_dr;
           Alcotest.test_case "shared tree rendering" `Quick test_pp_shared_tree;
           Alcotest.test_case "protocol independence" `Quick test_protocol_independence;
