@@ -329,6 +329,46 @@ let json_subjects () =
     Pim_sim.Engine.run eng;
     ignore (Sys.opaque_identity eng)
   in
+  (* The timer wheel's design load: a million events across a wide time
+     range, scheduled then drained.  The pre-wheel heap baseline spent
+     ~4.5 s here; the wheel runs it in a few hundred ms. *)
+  let engine_events_1m () =
+    let eng = Pim_sim.Engine.create () in
+    for i = 1 to 1_000_000 do
+      ignore (Pim_sim.Engine.schedule eng ~after:(float_of_int (i mod 9973)) (fun () -> ()))
+    done;
+    Pim_sim.Engine.run eng;
+    ignore (Sys.opaque_identity eng)
+  in
+  (* 2000-router wide-area scale point: two-level transit-stub topology,
+     static unicast routing everywhere, one PIM shared tree built by 8
+     stub members, then a short data stream — end to end through the
+     batched Net layer and the timer wheel. *)
+  let transit_stub_2000n () =
+    let prng = Pim_util.Prng.create 7 in
+    let ts =
+      Pim_graph.Transit_stub.generate ~transit:50 ~stubs_per_transit:3 ~stub_size:13
+        ~backbone_delay:0.5 ~access_delay:0.5 ~prng ()
+    in
+    let eng = Pim_sim.Engine.create () in
+    let net = Pim_sim.Net.create eng ts.Pim_graph.Transit_stub.topo in
+    let g = Pim_net.Group.of_index 1 in
+    let members = List.init 8 (fun _ -> Pim_graph.Transit_stub.random_stub_member ts ~prng) in
+    let rp_set = Pim_core.Rp_set.single g (Pim_net.Addr.router (List.hd members)) in
+    let dep = Pim_core.Deployment.create_static ~config:Pim_core.Config.fast net ~rp_set in
+    List.iter (fun m -> Pim_core.Router.join_local (Pim_core.Deployment.router dep m) g) members;
+    Pim_sim.Engine.run ~until:30. eng;
+    let src = Pim_graph.Transit_stub.random_stub_member ts ~prng in
+    for i = 0 to 9 do
+      ignore
+        (Pim_sim.Engine.schedule_at eng
+           (30. +. float_of_int i)
+           (fun () ->
+             Pim_core.Router.send_local_data (Pim_core.Deployment.router dep src) ~group:g ()))
+    done;
+    Pim_sim.Engine.run ~until:80. eng;
+    ignore (Sys.opaque_identity dep)
+  in
   [
     ("fig2a-trial", fig2a_trial);
     ("fig2a-degree-sweep-20", fig2a_degree_sweep);
@@ -337,6 +377,8 @@ let json_subjects () =
     ("dijkstra-50n-scratch", dijkstra_scratch);
     ("all-pairs-50n", all_pairs);
     ("engine-1k-events", engine_events);
+    ("engine-1M-events", engine_events_1m);
+    ("transit-stub-2000n", transit_stub_2000n);
   ]
 
 let run_json path =
@@ -393,14 +435,77 @@ let run_json path =
         (r.alloc_bytes_per_run /. 1024.))
     results
 
+(* {1 Regression gate}
+
+   [--check PATH] re-measures the engine subjects and compares them
+   against the committed baseline.  Wall clock differs across machines
+   and noisy CI runners, so it only fails on a large factor — chosen so
+   that reverting the timer wheel to the old heap (a ~5.8x slowdown on
+   engine-1k-events) trips the gate with margin.  Allocation per run is
+   deterministic and gets a tight bound. *)
+
+let check_subjects = [ "engine-1k-events"; "engine-1M-events" ]
+
+let wall_budget = 3.0
+
+let alloc_budget = 1.25
+
+let run_check path =
+  let base =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Pim_util.Json.of_string_exn s
+  in
+  let baseline name field =
+    let open Pim_util.Json in
+    Option.bind (member "benchmarks" base) to_list
+    |> Option.value ~default:[]
+    |> List.find_map (fun row ->
+           match Option.bind (member "name" row) to_str with
+           | Some n when n = name -> Option.bind (member field row) to_float
+           | _ -> None)
+  in
+  let failures = ref 0 in
+  Format.printf "# engine regression gate vs %s (wall x%.1f, alloc x%.2f)@." path wall_budget
+    alloc_budget;
+  List.iter
+    (fun ((name, _) as subj) ->
+      let r = measure_subject subj in
+      match (baseline name "wall_ns_per_run", baseline name "alloc_bytes_per_run") with
+      | Some bw, Some ba ->
+        let wall_ok = r.wall_ns_per_run <= (wall_budget *. bw) +. 1e4 in
+        (* +4 kB grace: tiny subjects would otherwise fail on measurement
+           noise from the harness itself. *)
+        let alloc_ok = r.alloc_bytes_per_run <= (alloc_budget *. ba) +. 4096. in
+        Format.printf "  %-20s wall %12.0f ns (baseline %12.0f) %s@." name r.wall_ns_per_run bw
+          (if wall_ok then "ok" else "REGRESSED");
+        Format.printf "  %-20s alloc %11.0f B  (baseline %12.0f) %s@." name
+          r.alloc_bytes_per_run ba
+          (if alloc_ok then "ok" else "REGRESSED");
+        if not (wall_ok && alloc_ok) then incr failures
+      | _ ->
+        Format.printf "  %-20s missing from baseline — regenerate with --json@." name;
+        incr failures)
+    (List.filter (fun (n, _) -> List.mem n check_subjects) (json_subjects ()));
+  if !failures > 0 then begin
+    Format.printf "# FAIL: %d engine benchmark(s) regressed vs %s@." !failures path;
+    exit 1
+  end
+  else Format.printf "# ok: engine benchmarks within budget of %s@." path
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: "--json" :: rest ->
     let path = match rest with p :: _ -> p | [] -> "BENCH_fig2.json" in
     run_json path
+  | _ :: "--check" :: rest ->
+    let path = match rest with p :: _ -> p | [] -> "BENCH_fig2.json" in
+    run_check path
   | _ :: [] | [] ->
     regenerate ();
     run_benchmarks ()
   | _ :: arg :: _ ->
-    prerr_endline ("usage: main.exe [--json [PATH]]  (unknown argument: " ^ arg ^ ")");
+    prerr_endline
+      ("usage: main.exe [--json [PATH] | --check [PATH]]  (unknown argument: " ^ arg ^ ")");
     exit 2

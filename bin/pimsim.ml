@@ -47,8 +47,15 @@ let nodes_arg =
   let doc = "Routers per random network." in
   Arg.(value & opt int 50 & info [ "nodes" ] ~doc)
 
+let domains_arg =
+  let doc =
+    "Fan trials across $(docv) OCaml domains.  Results are identical for any \
+     value (each trial has its own PRNG stream); only wall-clock time changes."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
 let fig2a_cmd =
-  let run seed trials nodes members json =
+  let run seed trials nodes members domains json =
     let row_to_json (r : Pim_exp.Fig2a.row) =
       Pim_util.Json.(
         Obj
@@ -67,7 +74,7 @@ let fig2a_cmd =
     in
     let rows =
       with_json_output ~experiment:"fig2a" ~json ~params ~row_to_json (fun () ->
-          Pim_exp.Fig2a.run ~nodes ~members ~trials ~seed ())
+          Pim_exp.Fig2a.run ~nodes ~members ~trials ~domains ~seed ())
     in
     Format.printf "%a" Pim_exp.Fig2a.pp_rows rows
   in
@@ -76,7 +83,7 @@ let fig2a_cmd =
   in
   Cmd.v
     (Cmd.info "fig2a" ~doc:"Figure 2(a): CBT/SPT maximum-delay ratio vs node degree.")
-    Term.(const run $ seed_arg $ trials_arg 500 $ nodes_arg $ members $ json_arg)
+    Term.(const run $ seed_arg $ trials_arg 500 $ nodes_arg $ members $ domains_arg $ json_arg)
 
 let fig2b_cmd =
   let run seed trials nodes groups members senders json =
@@ -204,7 +211,19 @@ let loss_cmd =
     Term.(const run $ seed_arg)
 
 let chaos_cmd =
-  let run seed nodes receivers events json =
+  let run seed nodes receivers events topology protocols json =
+    let topology_name = topology in
+    let topology =
+      match topology with
+      | "random" -> `Random
+      | "transit-stub" -> `Transit_stub
+      | s -> Format.eprintf "chaos: unknown topology %S (use random or transit-stub)@." s; exit 2
+    in
+    let protocols =
+      match protocols with
+      | "" -> None
+      | s -> Some (String.split_on_char ',' s |> List.map String.trim)
+    in
     let row_to_json (r : Pim_exp.Chaos.row) =
       Pim_util.Json.(
         Obj
@@ -229,12 +248,18 @@ let chaos_cmd =
     in
     let params =
       Pim_util.Json.
-        [ ("seed", Int seed); ("nodes", Int nodes); ("receivers", Int receivers); ("events", Int events) ]
+        [
+          ("seed", Int seed);
+          ("nodes", Int nodes);
+          ("receivers", Int receivers);
+          ("events", Int events);
+          ("topology", Str topology_name);
+        ]
     in
     let report = ref None in
     ignore
       (with_json_output ~experiment:"chaos" ~json ~params ~row_to_json (fun () ->
-           let r = Pim_exp.Chaos.run ~nodes ~receivers ~events ~seed () in
+           let r = Pim_exp.Chaos.run ~nodes ~receivers ~events ~topology ?protocols ~seed () in
            report := Some r;
            r.Pim_exp.Chaos.rows));
     let report = Option.get !report in
@@ -254,12 +279,29 @@ let chaos_cmd =
   let events =
     Arg.(value & opt int 8 & info [ "events" ] ~doc:"Fault events in the schedule.")
   in
+  let topology =
+    Arg.(
+      value
+      & opt string "random"
+      & info [ "topology" ]
+          ~doc:
+            "Topology kind: $(b,random) (flat random graph) or $(b,transit-stub) (two-level \
+             wide-area structure sized to --nodes routers; use --nodes 2000 for the scale run).")
+  in
+  let protocols =
+    Arg.(
+      value
+      & opt string ""
+      & info [ "protocols" ]
+          ~doc:
+            "Comma-separated protocol subset (PIM-SM, PIM-DM, CBT, MOSPF); default all four.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "E9: fault-injection differential — one seeded fault schedule vs all four protocols, \
           with a global invariant oracle (any violation exits nonzero).")
-    Term.(const run $ seed_arg $ nodes $ receivers $ events $ json_arg)
+    Term.(const run $ seed_arg $ nodes $ receivers $ events $ topology $ protocols $ json_arg)
 
 let all_cmd =
   let run seed =

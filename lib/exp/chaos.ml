@@ -29,7 +29,10 @@ let burst_probes = 5
 
 let burst_spacing = 0.4
 
-let delay_bound = 10.0
+(* Probe delivery bound for the default 30-node random topologies (unit
+   link delays); wide-area transit-stub runs compute their own bound
+   from the topology's link delays. *)
+let default_delay_bound = 10.0
 
 type setup = {
   name : string;
@@ -75,7 +78,7 @@ let fault_onsets schedule =
       | _ -> None)
     schedule
 
-let run_protocol ~topo ~schedule ~fault_end ~members ~(build : Net.t -> setup) =
+let run_protocol ~topo ~schedule ~fault_end ~members ~delay_bound ~(build : Net.t -> setup) =
   let eng = Engine.create () in
   let net = Net.create eng topo in
   let metrics = Metrics.attach net in
@@ -466,11 +469,50 @@ let mospf_setup ~source ~members net =
 
 (* {1 The experiment} *)
 
+let transit_stub_sizes ~nodes =
+  (* One transit router per ~40 total, three stubs each; e.g. 2000 nodes
+     -> transit 50, stub size 13 (50 + 50*3*13 = 2000 exactly). *)
+  let transit = Int.max 2 (nodes / 40) in
+  let stubs_per_transit = 3 in
+  let stub_size = Int.max 1 (((nodes / transit) - 1) / stubs_per_transit) in
+  (transit, stubs_per_transit, stub_size)
+
 let run ?(nodes = 30) ?(degree = 4.) ?(receivers = 5) ?(events = 8) ?(fault_window = 40.)
-    ?(mean_outage = 8.) ~seed () =
+    ?(mean_outage = 8.) ?(topology = `Random) ?protocols ~seed () =
   let prng = Prng.create seed in
-  let topo = Random_graph.generate ~prng ~nodes ~degree () in
-  let members = Random_graph.pick_members ~prng ~nodes ~count:receivers in
+  let topo, members, delay_bound =
+    match topology with
+    | `Random ->
+      let topo = Random_graph.generate ~prng ~nodes ~degree () in
+      (topo, Random_graph.pick_members ~prng ~nodes ~count:receivers, default_delay_bound)
+    | `Transit_stub ->
+      let transit, stubs_per_transit, stub_size = transit_stub_sizes ~nodes in
+      let candidates = transit * stubs_per_transit * Int.max 1 (stub_size - 1) in
+      if receivers > candidates then
+        invalid_arg "Chaos.run: more receivers than stub routers";
+      let ts = Pim_graph.Transit_stub.generate ~transit ~stubs_per_transit ~stub_size ~prng () in
+      (* Members live behind stub gateways, as wide-area receivers do. *)
+      let seen = Hashtbl.create 16 in
+      let members = ref [] in
+      while Hashtbl.length seen < receivers do
+        let m = Pim_graph.Transit_stub.random_stub_member ts ~prng in
+        if not (Hashtbl.mem seen m) then begin
+          Hashtbl.add seen m ();
+          members := m :: !members
+        end
+      done;
+      (* Worst one-way delay with the generator's default link delays:
+         half the backbone ring (5 s/hop — chords only shorten it), an
+         access link (3 s) and a stub spanning tree (1 s/hop) at each
+         end.  Data crosses it twice (source up the RP tree, then down
+         to a member), plus slack for encapsulation hops. *)
+      let one_way =
+        (5. *. float_of_int ((transit / 2) + 1))
+        +. (2. *. (3. +. float_of_int stub_size))
+      in
+      (ts.Pim_graph.Transit_stub.topo, List.rev !members, (2. *. one_way) +. 10.)
+  in
+  let nodes = Topology.n_nodes topo in
   let source =
     match List.find_opt (fun u -> not (List.mem u members)) (List.init nodes Fun.id) with
     | Some u -> u
@@ -484,16 +526,20 @@ let run ?(nodes = 30) ?(degree = 4.) ?(receivers = 5) ?(events = 8) ?(fault_wind
     Fault.random_schedule ~prng:(Prng.split prng) ~topo ~start:fault_start ~until:fault_end
       ~protected:(source :: members) ~events ~mean_outage ()
   in
-  let go build = run_protocol ~topo ~schedule ~fault_end ~members ~build in
+  let go build = run_protocol ~topo ~schedule ~fault_end ~members ~delay_bound ~build in
   (* Canonical report order: the fixed protocol list below — the report
-     row order is part of the byte-identical reproducibility contract. *)
+     row order is part of the byte-identical reproducibility contract.
+     [protocols] selects a subset (large-topology scale runs exercise
+     one protocol at a time) without disturbing that order. *)
+  let wanted name = match protocols with None -> true | Some ps -> List.mem name ps in
   let rows =
     [
-      go (pim_setup ~rp ~source);
-      go (dense_setup ~source);
-      go (cbt_setup ~core:rp ~source);
-      go (mospf_setup ~source ~members);
+      ("PIM-SM", pim_setup ~rp ~source);
+      ("PIM-DM", dense_setup ~source);
+      ("CBT", cbt_setup ~core:rp ~source);
+      ("MOSPF", mospf_setup ~source ~members);
     ]
+    |> List.filter_map (fun (name, build) -> if wanted name then Some (go build) else None)
   in
   { seed; schedule; rows }
 

@@ -46,11 +46,24 @@ val run :
   ?events:int ->
   ?fault_window:float ->
   ?mean_outage:float ->
+  ?topology:[ `Random | `Transit_stub ] ->
+  ?protocols:string list ->
   seed:int ->
   unit ->
   report
 (** Defaults: 30 nodes, degree 4, 5 receivers, 8 fault events over a
-    40 s window.  Deterministic for a given seed. *)
+    40 s window, a [`Random] topology, all four protocols.
+    Deterministic for a given seed.
+
+    [`Transit_stub] builds a two-level {!Pim_graph.Transit_stub}
+    topology sized to roughly [nodes] routers (2000 maps exactly onto
+    50 transit routers with three 13-router stubs each), with receivers
+    placed on non-gateway stub routers; [degree] is ignored.  This is
+    the multi-thousand-router scale configuration.
+
+    [protocols] restricts the run to the named subset of
+    [["PIM-SM"; "PIM-DM"; "CBT"; "MOSPF"]], preserving that canonical
+    row order — large scale runs exercise one protocol at a time. *)
 
 val pim_state_checks :
   net:Pim_sim.Net.t ->

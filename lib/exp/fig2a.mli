@@ -20,10 +20,16 @@ val run :
   ?members:int ->
   ?trials:int ->
   ?degrees:float list ->
+  ?domains:int ->
   seed:int ->
   unit ->
   row list
-(** Defaults: 50 nodes, 10 members, 500 trials per degree, degrees 3..8. *)
+(** Defaults: 50 nodes, 10 members, 500 trials per degree, degrees 3..8,
+    1 domain.  [domains > 1] fans the trials of each degree across that
+    many OCaml domains; every trial draws from its own PRNG stream
+    (split in trial order before the fan-out) and results are aggregated
+    in trial order, so the rows are identical for any [domains] value —
+    parallelism changes wall-clock time only. *)
 
 val pp_rows : Format.formatter -> row list -> unit
 (** Print the series the way the paper's figure plots it. *)

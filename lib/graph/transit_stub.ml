@@ -13,22 +13,32 @@ let generate ?(transit = 4) ?(stubs_per_transit = 2) ?(stub_size = 4) ?(backbone
     invalid_arg "Transit_stub.generate: sizes must be positive";
   let total = transit + (transit * stubs_per_transit * stub_size) in
   let b = Topology.builder total in
+  (* A random chord draw can land on a link that already exists — another
+     chord from an earlier draw, a ring edge, or a stub's spanning-tree
+     edge.  Track every edge as an unordered pair and skip duplicates, so
+     the generated topology is always a simple graph.  A skipped draw
+     consumes exactly the numbers it would have anyway, so the PRNG
+     stream (and every later stub) is unchanged by the dedup. *)
+  let edges = Hashtbl.create (2 * total) in
+  let add_edge ?cost ?delay u v =
+    let k = if u < v then (u, v) else (v, u) in
+    if not (Hashtbl.mem edges k) then begin
+      Hashtbl.add edges k ();
+      ignore (Topology.add_p2p ?cost ?delay b u v)
+    end
+  in
   (* Backbone: ring plus a few random chords for path diversity. *)
   let transit_nodes = List.init transit Fun.id in
   if transit > 1 then begin
     for i = 0 to transit - 1 do
       if transit > 2 || i < transit - 1 then
-        ignore
-          (Topology.add_p2p ~cost:backbone_cost ~delay:backbone_delay b i ((i + 1) mod transit))
+        add_edge ~cost:backbone_cost ~delay:backbone_delay i ((i + 1) mod transit)
     done;
     if transit >= 4 then
       for _ = 1 to transit / 2 do
         let u = Prng.int prng transit and v = Prng.int prng transit in
-        if
-          u <> v
-          && (not (abs (u - v) = 1))
-          && not (abs (u - v) = transit - 1)
-        then ignore (Topology.add_p2p ~cost:backbone_cost ~delay:backbone_delay b u v)
+        (* Ring edges and repeated draws are caught by [add_edge]. *)
+        if u <> v then add_edge ~cost:backbone_cost ~delay:backbone_delay u v
       done
   end;
   (* Stub domains: a random connected graph behind one gateway. *)
@@ -44,15 +54,16 @@ let generate ?(transit = 4) ?(stubs_per_transit = 2) ?(stub_size = 4) ?(backbone
         (* Spanning tree inside the stub... *)
         for k = 1 to stub_size - 1 do
           let parent = base + Prng.int prng k in
-          ignore (Topology.add_p2p b (base + k) parent)
+          add_edge (base + k) parent
         done;
-        (* ...plus a chord when the stub is big enough. *)
+        (* ...plus a chord when the stub is big enough; a draw that lands
+           on a spanning-tree edge is dropped rather than doubled. *)
         if stub_size >= 4 then begin
           let u = base + Prng.int prng stub_size and v = base + Prng.int prng stub_size in
-          if u <> v then ignore (Topology.add_p2p b u v)
+          if u <> v then add_edge u v
         end;
         (* Gateway = first router of the stub, attached to its transit. *)
-        ignore (Topology.add_p2p ~cost:access_cost ~delay:access_delay b base tnode);
+        add_edge ~cost:access_cost ~delay:access_delay base tnode;
         gateways := base :: !gateways;
         stubs := members :: !stubs
       done)

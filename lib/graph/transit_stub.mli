@@ -29,7 +29,14 @@ val generate :
   t
 (** Defaults: 4 transit routers, 2 stubs each, 4 routers per stub
     (20 nodes total); backbone links cost 3 / delay 5, access links cost
-    2 / delay 3, stub links cost 1 / delay 1. *)
+    2 / delay 3, stub links cost 1 / delay 1.
+
+    The result is always a simple graph: chord draws that land on an
+    existing link (a ring edge, a spanning-tree edge, or an earlier
+    chord) are dropped rather than added as parallel edges.  Generation
+    is linear in the number of routers, so multi-thousand-router
+    topologies (e.g. [~transit:50 ~stubs_per_transit:3 ~stub_size:13]
+    for 2000 routers) are cheap to produce. *)
 
 val random_stub_member : t -> prng:Pim_util.Prng.t -> Topology.node
 (** A uniformly chosen non-gateway stub router (where members and sources

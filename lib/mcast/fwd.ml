@@ -98,40 +98,130 @@ let pp_entry ppf e =
     oifs flags
     (match e.rp with None -> "-" | Some rp -> Addr.to_string rp)
 
-type t = { tbl : (Group.t * Addr.t option, entry) Hashtbl.t }
+(* Per-group slot: the "(*,G)" entry plus the (S,G) list kept sorted by
+   source address, so group-local enumeration needs no sort. *)
+type slot = {
+  mutable star : entry option;
+  mutable sgs : entry list;
+}
 
-let create () = { tbl = Hashtbl.create 64 }
+(* The FIB is keyed by dense group id from a per-FIB interner: router
+   state for G lives at [slots.(gid)], an array index instead of a
+   hash-table probe on a (group, source option) tuple key.  A lookup for
+   a group the router has no state for uses [Interner.find] and touches
+   nothing, so data-plane probes never grow the interner. *)
+type t = {
+  interner : Group.Interner.t;
+  mutable slots : slot array;
+  mutable size : int;
+}
 
-let find_sg t g s = Hashtbl.find_opt t.tbl (g, Some s)
+let create () = { interner = Group.Interner.create (); slots = [||]; size = 0 }
 
-let find_star t g = Hashtbl.find_opt t.tbl (g, None)
+let slot_of t g =
+  match Group.Interner.find t.interner g with
+  | Some gid when gid < Array.length t.slots -> Some t.slots.(gid)
+  | _ -> None
+
+let find_sg t g s =
+  match slot_of t g with
+  | None -> None
+  | Some sl ->
+    List.find_opt (fun e -> match e.source with Some s' -> Addr.equal s' s | None -> false) sl.sgs
+
+let find_star t g = match slot_of t g with None -> None | Some sl -> sl.star
 
 let match_data t g ~src =
-  match find_sg t g src with Some e -> Some e | None -> find_star t g
+  match slot_of t g with
+  | None -> None
+  | Some sl ->
+    let rec go = function
+      | e :: tl -> (
+        match e.source with Some s' when Addr.equal s' src -> Some e | _ -> go tl)
+      | [] -> sl.star
+    in
+    go sl.sgs
+
+let ensure_slot t gid =
+  if gid >= Array.length t.slots then begin
+    let cap = Int.max 16 (Int.max (gid + 1) (2 * Array.length t.slots)) in
+    let a = Array.init cap (fun i ->
+        if i < Array.length t.slots then t.slots.(i) else { star = None; sgs = [] })
+    in
+    t.slots <- a
+  end;
+  t.slots.(gid)
 
 let insert t e =
-  let k = key e in
-  if Hashtbl.mem t.tbl k then invalid_arg "Fwd.insert: duplicate entry";
-  Hashtbl.replace t.tbl k e
+  let gid = Group.Interner.intern t.interner e.group in
+  let sl = ensure_slot t gid in
+  (match e.source with
+  | None ->
+    if sl.star <> None then invalid_arg "Fwd.insert: duplicate entry";
+    sl.star <- Some e
+  | Some s ->
+    let rec ins = function
+      | e' :: tl as l -> (
+        match e'.source with
+        | Some s' ->
+          let c = Addr.compare s s' in
+          if c = 0 then invalid_arg "Fwd.insert: duplicate entry"
+          else if c < 0 then e :: l
+          else e' :: ins tl
+        | None -> assert false)
+      | [] -> [ e ]
+    in
+    sl.sgs <- ins sl.sgs);
+  t.size <- t.size + 1
 
-let remove t g s = Hashtbl.remove t.tbl (g, s)
+let remove t g s =
+  match slot_of t g with
+  | None -> ()
+  | Some sl -> (
+    match s with
+    | None -> if sl.star <> None then begin sl.star <- None; t.size <- t.size - 1 end
+    | Some s ->
+      let before = List.length sl.sgs in
+      sl.sgs <-
+        List.filter
+          (fun e -> match e.source with Some s' -> not (Addr.equal s' s) | None -> true)
+          sl.sgs;
+      if List.length sl.sgs <> before then t.size <- t.size - 1)
 
 (* Canonical (group, source) order, with the "(*,G)" entry ahead of its
-   (S,G) siblings.  [entries] sorts with it so that every consumer —
-   sweeps, periodic refresh, invariant checks — visits the table in an
-   order independent of hash-bucket layout. *)
+   (S,G) siblings.  [entries] enumerates in this order so that every
+   consumer — sweeps, periodic refresh, invariant checks — visits the
+   table in an order independent of interner id assignment. *)
 let compare_entry a b =
   match Group.compare a.group b.group with
   | 0 -> Option.compare Addr.compare a.source b.source
   | c -> c
 
+let slot_entries sl = (match sl.star with Some e -> [ e ] | None -> []) @ sl.sgs
+
 let entries t =
-  Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl [] |> List.sort compare_entry
+  let per_group = ref [] in
+  for gid = Array.length t.slots - 1 downto 0 do
+    match slot_entries t.slots.(gid) with
+    | [] -> ()
+    | es -> per_group := (Group.Interner.group_of t.interner gid, es) :: !per_group
+  done;
+  !per_group
+  |> List.sort (fun (g1, _) (g2, _) -> Group.compare g1 g2)
+  |> List.concat_map snd
 
-let group_entries t g = entries t |> List.filter (fun e -> Group.equal e.group g)
+let group_entries t g = match slot_of t g with None -> [] | Some sl -> slot_entries sl
 
-let count t = Hashtbl.length t.tbl
+let count t = t.size
 
-let clear t = Hashtbl.reset t.tbl
+let clear t =
+  (* A restart loses forwarding state; interned ids survive (they are
+     stable identifiers, not state). *)
+  Array.iter
+    (fun sl ->
+      sl.star <- None;
+      sl.sgs <- [])
+    t.slots;
+  t.size <- 0
 
 let pp ppf t = List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) (entries t)

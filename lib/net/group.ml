@@ -23,6 +23,50 @@ let index g =
   let x = Int32.to_int (Addr.to_int32 g) land 0xFFFFFFFF in
   if (x lsr 24) land 0xFF = 225 then Some (x land 0xFFFFFF) else None
 
+module GH = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+
+  let hash = hash
+end)
+
+module Interner = struct
+  type group = t
+
+  type t = {
+    ids : int GH.t;
+    mutable groups : group array;
+    mutable n : int;
+  }
+
+  let create () = { ids = GH.create 64; groups = [||]; n = 0 }
+
+  let count it = it.n
+
+  let find it g = GH.find_opt it.ids g
+
+  let intern it g =
+    match GH.find_opt it.ids g with
+    | Some id -> id
+    | None ->
+      let id = it.n in
+      if id >= Array.length it.groups then begin
+        let cap = Int.max 16 (2 * Array.length it.groups) in
+        let a = Array.make cap g in
+        Array.blit it.groups 0 a 0 id;
+        it.groups <- a
+      end;
+      it.groups.(id) <- g;
+      it.n <- id + 1;
+      GH.replace it.ids g id;
+      id
+
+  let group_of it id =
+    if id < 0 || id >= it.n then invalid_arg "Group.Interner.group_of: unknown id";
+    it.groups.(id)
+end
+
 let of_string s = Option.bind (Addr.of_string s) of_addr
 
 let to_string = Addr.to_string

@@ -30,6 +30,38 @@ val of_index : int -> t
 val index : t -> int option
 (** Inverse of {!of_index}. *)
 
+(** Dense integer ids for groups.
+
+    A simulation touches a tiny, stable set of groups, while group
+    addresses are sparse 32-bit values.  An interner assigns each
+    distinct group the next id [0, 1, 2, ...] so per-router state can
+    live in arrays indexed by group id instead of hash tables keyed by
+    address.  Ids are per-interner and follow interning order — they are
+    deterministic for a deterministic workload, but not comparable
+    across interners. *)
+module Interner : sig
+  type group = t
+
+  type t
+
+  val create : unit -> t
+
+  val intern : t -> group -> int
+  (** The group's id, assigning the next dense id on first sight. *)
+
+  val find : t -> group -> int option
+  (** The group's id, or [None] if it was never interned.  Lookup paths
+      use this so that probing for an absent group does not grow the
+      interner. *)
+
+  val group_of : t -> int -> group
+  (** Inverse of {!intern}.
+      @raise Invalid_argument on an unassigned id. *)
+
+  val count : t -> int
+  (** Number of distinct groups interned (ids are [0 .. count - 1]). *)
+end
+
 val of_string : string -> t option
 
 val to_string : t -> string

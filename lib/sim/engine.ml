@@ -1,78 +1,74 @@
-type handle = { mutable cancelled : bool }
+module Tw = Pim_util.Timer_wheel
 
-type event = {
-  time : float;
-  seq : int;
-  action : unit -> unit;
-  hdl : handle;
-}
+(* A handle IS the wheel node; its payload is the callback.  One
+   allocation per scheduled event, and cancellation is [Tw.cancel] —
+   worst-case O(1) slot removal, no tombstones, so [pending] counts only
+   live events.
+
+   Cancellation also swaps the payload for [noop]:
+   - it drops the callback (and whatever its closure captures) even if
+     the caller retains the handle;
+   - it lets a recurring timer's tick detect a cancel performed by its
+     own action (the node is unlinked during the tick either way, so
+     [linked] cannot distinguish the two). *)
+type handle = (unit -> unit) Tw.node
 
 type t = {
   mutable clock : float;
   mutable seq : int;
-  queue : event Pim_util.Heap.t;
+  queue : (unit -> unit) Tw.t;
 }
 
-let compare_events a b =
-  match Float.compare a.time b.time with 0 -> Int.compare a.seq b.seq | c -> c
+let noop () = ()
 
-let create () = { clock = 0.; seq = 0; queue = Pim_util.Heap.create ~cmp:compare_events }
+let create () = { clock = 0.; seq = 0; queue = Tw.create () }
 
 let now t = t.clock
 
-let push t time action =
-  let hdl = { cancelled = false } in
-  let ev = { time; seq = t.seq; action; hdl } in
-  t.seq <- t.seq + 1;
-  Pim_util.Heap.push t.queue ev;
-  hdl
+let next_seq t =
+  let s = t.seq in
+  t.seq <- s + 1;
+  s
 
 let schedule t ~after action =
   if after < 0. then invalid_arg "Engine.schedule: negative delay";
-  push t (t.clock +. after) action
+  Tw.add t.queue ~time:(t.clock +. after) ~seq:(next_seq t) action
 
 let schedule_at t time action =
   if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
-  push t time action
+  Tw.add t.queue ~time ~seq:(next_seq t) action
 
 let every t ?start ~interval action =
   if interval <= 0. then invalid_arg "Engine.every: non-positive interval";
   let first = Option.value start ~default:interval in
   if first < 0. then invalid_arg "Engine.every: negative start";
-  let hdl = { cancelled = false } in
-  let rec arm delay =
-    let tick () =
-      if not hdl.cancelled then begin
-        action ();
-        if not hdl.cancelled then arm interval
-      end
-    in
-    let ev = { time = t.clock +. delay; seq = t.seq; action = tick; hdl } in
-    t.seq <- t.seq + 1;
-    Pim_util.Heap.push t.queue ev
+  let node = ref None in
+  let rec tick () =
+    action ();
+    match !node with
+    | Some n
+      when Tw.value n == tick (* pimlint: allow H2 — cancel swaps the payload; identity is the test *)
+      ->
+      (* Not cancelled mid-tick: re-arm in place, reusing the node. *)
+      Tw.readd n ~time:(t.clock +. interval) ~seq:(next_seq t)
+    | _ -> ()
   in
-  arm first;
-  hdl
+  let n = Tw.add t.queue ~time:(t.clock +. first) ~seq:(next_seq t) tick in
+  node := Some n;
+  n
 
-let cancel hdl = hdl.cancelled <- true
+(* True removal: the event leaves its wheel bucket now, not at its fire
+   time, so cancelling N timers is O(N) total and leaks nothing. *)
+let cancel hdl =
+  Tw.cancel hdl;
+  Tw.set_value hdl noop
 
 let run ?until t =
   let limit = Option.value until ~default:infinity in
-  let rec loop () =
-    match Pim_util.Heap.peek t.queue with
-    | None -> ()
-    | Some ev when ev.time > limit -> ()
-    | Some _ -> (
-      match Pim_util.Heap.pop t.queue with
-      | None -> ()
-      | Some ev ->
-        if not ev.hdl.cancelled then begin
-          t.clock <- max t.clock ev.time;
-          ev.action ()
-        end;
-        loop ())
-  in
-  loop ();
+  Tw.drain_until t.queue ~limit (fun node ->
+      let time = Tw.time node in
+      if time > t.clock then t.clock <- time;
+      Tw.value node ());
   if Float.is_finite limit then t.clock <- max t.clock limit
 
-let pending t = Pim_util.Heap.length t.queue
+let pending t = Tw.length t.queue

@@ -6,7 +6,12 @@
 
     The paper's soft-state machinery — periodic Join/Prune refresh, oif
     timers, RP-reachability timers (sections 3.4, 3.6, 3.9) — is built on
-    {!schedule} and {!every}. *)
+    {!schedule} and {!every}.
+
+    The queue is a calendar-queue timer wheel ({!Pim_util.Timer_wheel}):
+    schedule, fire and {!cancel} are all amortized O(1), and cancellation
+    removes the event from its wheel slot immediately rather than leaving
+    a tombstone until its fire time. *)
 
 type t
 
@@ -29,7 +34,8 @@ val every : t -> ?start:float -> interval:float -> (unit -> unit) -> handle
     every [interval] seconds until cancelled. *)
 
 val cancel : handle -> unit
-(** Cancelling an already-fired one-shot event is a no-op. *)
+(** Remove the event from the queue in O(1).  Cancelling an already-fired
+    one-shot event (or cancelling twice) is a no-op. *)
 
 val run : ?until:float -> t -> unit
 (** Process events in time order.  Stops when the queue empties, or, when
@@ -37,4 +43,5 @@ val run : ?until:float -> t -> unit
     to [until]; pending recurring timers remain scheduled). *)
 
 val pending : t -> int
-(** Number of queued events (including cancelled ones not yet drained). *)
+(** Number of live queued events.  Cancelled events leave the queue
+    immediately and are never counted. *)

@@ -10,6 +10,14 @@ type host = {
   hrecv : Packet.t -> unit;
 }
 
+(* A frame queued on a link, waiting out the propagation delay. *)
+type pending = {
+  deadline : float;
+  pkt : Packet.t;
+  p_from : int option;
+  p_to : int option;
+}
+
 type t = {
   eng : Engine.t;
   topo : Topology.t;
@@ -26,6 +34,8 @@ type t = {
   m_delivered : Pim_util.Metrics.counter;
   m_dropped : Pim_util.Metrics.counter;
   counts : int array;
+  queues : pending Queue.t array;
+  armed : bool array;
   mutable offered : int;
   mutable loss_rate : float;
   mutable loss_prng : Pim_util.Prng.t;
@@ -53,6 +63,8 @@ let create eng topo =
     m_delivered = Pim_util.Metrics.counter metrics "net_delivered";
     m_dropped = Pim_util.Metrics.counter metrics "net_dropped";
     counts = Array.make (Topology.n_links topo) 0;
+    queues = Array.init (Topology.n_links topo) (fun _ -> Queue.create ());
+    armed = Array.make (Topology.n_links topo) false;
     offered = 0;
     loss_rate = 0.;
     loss_prng = Pim_util.Prng.create 0x10ad;
@@ -123,6 +135,67 @@ let set_jitter t ?prng amplitude =
 
 let jitter t = t.jitter
 
+(* Propagation complete: hand the frame to routers/hosts on the link. *)
+let deliver_one t lid ~from_node ~to_node pkt =
+  (* The frame only counts as a traversal if the link is still up when
+     propagation completes — a frame in flight on a link that died is
+     lost, and must not inflate the overhead metrics. *)
+  if not t.link_state.(lid) then begin
+    Pim_util.Metrics.incr t.m_dropped;
+    Vec.iter (fun f -> f lid pkt) t.drop_subs
+  end
+  else begin
+    let link = Topology.link t.topo lid in
+    t.counts.(lid) <- t.counts.(lid) + 1;
+    Pim_util.Metrics.incr t.m_delivered;
+    Vec.iter (fun f -> f lid pkt) t.deliver_subs;
+    let routers =
+      match to_node with
+      | Some v -> if Array.exists (Int.equal v) link.Topology.ends then [ v ] else []
+      | None -> (
+        match from_node with
+        | Some u -> Topology.others_on_link t.topo lid u
+        | None -> Array.to_list link.Topology.ends)
+    in
+    List.iter
+      (fun v ->
+        if t.node_state.(v) then
+          let iface = Topology.iface_of_link t.topo v lid in
+          Vec.iter (fun h -> h ~iface pkt) t.handlers.(v))
+      routers;
+    (* Hosts only overhear broadcast frames; a host never hears its own
+       transmission. *)
+    if to_node = None then begin
+      let from_host h =
+        match from_node with
+        | None -> Pim_net.Addr.equal h.haddr pkt.Packet.src
+        | Some _ -> false
+      in
+      List.iter (fun h -> if not (from_host h) then h.hrecv pkt) (hosts_on_link t lid)
+    end
+  end
+
+(* Deliver every queued frame that is due, then re-arm one timer for the
+   head of what remains.  Per-link deadlines are monotone (fixed link
+   delay, non-decreasing clock), so the FIFO queue is in deadline order
+   and frames sharing a deadline are contiguous: the whole same-instant
+   burst costs one engine event instead of one per packet. *)
+let rec flush t lid =
+  let q = t.queues.(lid) in
+  let now = Engine.now t.eng in
+  let rec go () =
+    match Queue.peek_opt q with
+    | Some it when it.deadline <= now ->
+      ignore (Queue.pop q);
+      deliver_one t lid ~from_node:it.p_from ~to_node:it.p_to it.pkt;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  match Queue.peek_opt q with
+  | Some it -> ignore (Engine.schedule_at t.eng it.deadline (fun () -> flush t lid))
+  | None -> t.armed.(lid) <- false
+
 let transmit t ~from_node ~lid ~to_node pkt =
   t.offered <- t.offered + 1;
   Pim_util.Metrics.incr t.m_offered;
@@ -133,51 +206,24 @@ let transmit t ~from_node ~lid ~to_node pkt =
     Pim_util.Metrics.incr t.m_dropped;
     Vec.iter (fun f -> f lid pkt) t.drop_subs
   end
-  else
-  let link = Topology.link t.topo lid in
-  let deliver () =
-    (* The frame only counts as a traversal if the link is still up when
-       propagation completes — a frame in flight on a link that died is
-       lost, and must not inflate the overhead metrics. *)
-    if not t.link_state.(lid) then begin
-      Pim_util.Metrics.incr t.m_dropped;
-      Vec.iter (fun f -> f lid pkt) t.drop_subs
+  else begin
+    let link = Topology.link t.topo lid in
+    if t.jitter > 0. then begin
+      (* Jitter gives every frame its own deadline: per-frame timer. *)
+      let delay = link.Topology.delay +. Pim_util.Prng.float t.jitter_prng t.jitter in
+      ignore
+        (Engine.schedule t.eng ~after:delay (fun () ->
+             deliver_one t lid ~from_node ~to_node pkt))
     end
     else begin
-      t.counts.(lid) <- t.counts.(lid) + 1;
-      Pim_util.Metrics.incr t.m_delivered;
-      Vec.iter (fun f -> f lid pkt) t.deliver_subs;
-      let routers =
-        match to_node with
-        | Some v -> if Array.exists (Int.equal v) link.Topology.ends then [ v ] else []
-        | None -> (
-          match from_node with
-          | Some u -> Topology.others_on_link t.topo lid u
-          | None -> Array.to_list link.Topology.ends)
-      in
-      List.iter
-        (fun v ->
-          if t.node_state.(v) then
-            let iface = Topology.iface_of_link t.topo v lid in
-            Vec.iter (fun h -> h ~iface pkt) t.handlers.(v))
-        routers;
-      (* Hosts only overhear broadcast frames; a host never hears its own
-         transmission. *)
-      if to_node = None then begin
-        let from_host h =
-          match from_node with
-          | None -> Pim_net.Addr.equal h.haddr pkt.Packet.src
-          | Some _ -> false
-        in
-        List.iter (fun h -> if not (from_host h) then h.hrecv pkt) (hosts_on_link t lid)
+      let deadline = Engine.now t.eng +. link.Topology.delay in
+      Queue.push { deadline; pkt; p_from = from_node; p_to = to_node } t.queues.(lid);
+      if not t.armed.(lid) then begin
+        t.armed.(lid) <- true;
+        ignore (Engine.schedule_at t.eng deadline (fun () -> flush t lid))
       end
     end
-  in
-  let delay =
-    if t.jitter > 0. then link.Topology.delay +. Pim_util.Prng.float t.jitter_prng t.jitter
-    else link.Topology.delay
-  in
-  ignore (Engine.schedule t.eng ~after:delay deliver)
+  end
 
 let send t u ~iface ?to_node pkt =
   if t.node_state.(u) then begin

@@ -2,10 +2,22 @@ type counter = { mutable count : int }
 
 type gauge = { mutable value : float }
 
+(* Bounded memory no matter how many observations arrive: exact
+   streaming count/sum/sum-of-squares/min/max, plus a fixed-size
+   uniform reservoir (Vitter's algorithm R) for the percentiles.  The
+   reservoir's PRNG is seeded from the instrument's key, so runs are
+   reproducible and no ambient randomness is involved. *)
 type histogram = {
-  mutable samples : float list;  (* reversed *)
+  reservoir : float array;
+  res_prng : Prng.t;
   mutable n : int;
+  mutable sum : float;
+  mutable sum_sq : float;
+  mutable mn : float;
+  mutable mx : float;
 }
+
+let reservoir_capacity = 1024
 
 type key = {
   name : string;
@@ -50,7 +62,17 @@ let gauge t ?(labels = []) name =
 
 let histogram t ?(labels = []) name =
   lookup t ~name ~labels
-    ~make:(fun () -> Histogram { samples = []; n = 0 })
+    ~make:(fun () ->
+      Histogram
+        {
+          reservoir = Array.make reservoir_capacity 0.;
+          res_prng = Prng.create (Hashtbl.hash (key name labels));
+          n = 0;
+          sum = 0.;
+          sum_sq = 0.;
+          mn = 0.;
+          mx = 0.;
+        })
     ~cast:(function
       | Histogram h -> h
       | Counter _ | Gauge _ ->
@@ -65,12 +87,39 @@ let set g v = g.value <- v
 let gauge_value g = g.value
 
 let observe h v =
-  h.samples <- v :: h.samples;
-  h.n <- h.n + 1
+  let i = h.n in
+  h.n <- i + 1;
+  h.sum <- h.sum +. v;
+  h.sum_sq <- h.sum_sq +. (v *. v);
+  if i = 0 || v < h.mn then h.mn <- v;
+  if i = 0 || v > h.mx then h.mx <- v;
+  let cap = Array.length h.reservoir in
+  if i < cap then h.reservoir.(i) <- v
+  else begin
+    (* Element i replaces a random slot with probability cap/(i+1),
+       keeping every observation equally likely to be retained. *)
+    let j = Prng.int h.res_prng (i + 1) in
+    if j < cap then h.reservoir.(j) <- v
+  end
 
 let histogram_count h = h.n
 
-let histogram_summary h = Stats.summarize (List.rev h.samples)
+let histogram_summary h =
+  let k = Int.min h.n (Array.length h.reservoir) in
+  let arr = Array.sub h.reservoir 0 k in
+  Array.sort Float.compare arr;
+  let nf = float_of_int h.n in
+  {
+    Stats.n = h.n;
+    mean = (if h.n = 0 then 0. else h.sum /. nf);
+    stddev =
+      (if h.n < 2 then 0.
+       else sqrt (Float.max 0. ((h.sum_sq -. (h.sum *. h.sum /. nf)) /. (nf -. 1.))));
+    min = (if h.n = 0 then 0. else h.mn);
+    max = (if h.n = 0 then 0. else h.mx);
+    p50 = Stats.percentile_sorted arr 50.;
+    p95 = Stats.percentile_sorted arr 95.;
+  }
 
 let compare_key a b =
   match String.compare a.name b.name with

@@ -37,11 +37,19 @@ val set : gauge -> float -> unit
 val gauge_value : gauge -> float
 
 val observe : histogram -> float -> unit
+(** Record a sample.  Histograms use bounded memory regardless of how
+    many samples arrive: count, sum, sum of squares, min and max are
+    streamed exactly, while percentiles come from a fixed-capacity
+    uniform reservoir (algorithm R, PRNG seeded from the instrument
+    key, so results are reproducible). *)
 
 val histogram_count : histogram -> int
 
 val histogram_summary : histogram -> Stats.summary
-(** Summarize the samples observed so far. *)
+(** Summary of the samples observed so far.  [n], [mean], [stddev],
+    [min] and [max] are exact; [p50]/[p95] are estimated from the
+    reservoir (exact while fewer samples than its capacity have been
+    observed). *)
 
 val to_json : t -> Json.t
 (** [{"schema": "pim-metrics/1", "counters": [...], "gauges": [...],

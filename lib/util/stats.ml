@@ -15,16 +15,21 @@ let minimum = function [] -> 0. | x :: xs -> List.fold_left min x xs
 
 let maximum = function [] -> 0. | x :: xs -> List.fold_left max x xs
 
-let percentile p xs =
-  match xs with
-  | [] -> 0.
-  | _ ->
-    let arr = Array.of_list xs in
-    Array.sort Float.compare arr;
-    let n = Array.length arr in
+(* Nearest-rank on an ascending array: the smallest sample such that at
+   least [p]% of the data is <= it, i.e. index ceil(p/100 * n) - 1,
+   clamped so p = 0 reads the minimum and p = 100 the maximum. *)
+let percentile_sorted arr p =
+  let n = Array.length arr in
+  if n = 0 then 0.
+  else begin
     let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
-    let idx = max 0 (min (n - 1) (rank - 1)) in
-    arr.(idx)
+    arr.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let percentile p xs =
+  let arr = Array.of_list xs in
+  Array.sort Float.compare arr;
+  percentile_sorted arr p
 
 type summary = {
   n : int;
@@ -36,15 +41,20 @@ type summary = {
   p95 : float;
 }
 
+(* One sort serves min, max and every percentile; the old code sorted a
+   fresh copy of the samples per percentile call. *)
 let summarize xs =
+  let arr = Array.of_list xs in
+  Array.sort Float.compare arr;
+  let n = Array.length arr in
   {
-    n = List.length xs;
+    n;
     mean = mean xs;
     stddev = stddev xs;
-    min = minimum xs;
-    max = maximum xs;
-    p50 = percentile 50. xs;
-    p95 = percentile 95. xs;
+    min = (if n = 0 then 0. else arr.(0));
+    max = (if n = 0 then 0. else arr.(n - 1));
+    p50 = percentile_sorted arr 50.;
+    p95 = percentile_sorted arr 95.;
   }
 
 let pp_summary ppf s =

@@ -15,7 +15,12 @@ val maximum : float list -> float
 
 val percentile : float -> float list -> float
 (** [percentile p xs] for [p] in [\[0, 100\]], nearest-rank method on the
-    sorted samples; 0. on the empty list. *)
+    sorted samples; 0. on the empty list.  [p = 0.] is the minimum and
+    [p = 100.] the maximum. *)
+
+val percentile_sorted : float array -> float -> float
+(** Nearest-rank percentile on an already ascending-sorted array; lets a
+    caller sort once and read many percentiles.  0. on the empty array. *)
 
 type summary = {
   n : int;

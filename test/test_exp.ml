@@ -30,6 +30,19 @@ let test_fig2a_deterministic () =
   let c = Fig2a.run ~trials:5 ~seed:4 () in
   Alcotest.(check bool) "different seed differs" true (a <> c)
 
+(* Fanning the trials across domains must not change a single bit of the
+   output: every trial's PRNG stream is split in trial order before the
+   fan-out, and aggregation reads results in trial order. *)
+let test_fig2a_parallel_identical () =
+  let seq = Fig2a.run ~trials:24 ~degrees:[ 3.; 5. ] ~seed:11 () in
+  List.iter
+    (fun domains ->
+      let par = Fig2a.run ~trials:24 ~degrees:[ 3.; 5. ] ~domains ~seed:11 () in
+      Alcotest.(check bool)
+        (Printf.sprintf "domains=%d rows identical to sequential" domains)
+        true (par = seq))
+    [ 2; 3; 7 ]
+
 let test_fig2b_concentration () =
   let rows = Fig2b.run ~trials:2 ~groups:50 ~seed:7 () in
   List.iter
@@ -309,6 +322,7 @@ let () =
         [
           Alcotest.test_case "ratio bounds" `Quick test_fig2a_bounds;
           Alcotest.test_case "deterministic" `Quick test_fig2a_deterministic;
+          Alcotest.test_case "parallel identical" `Quick test_fig2a_parallel_identical;
         ] );
       ( "fig2b",
         [

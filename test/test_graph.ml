@@ -350,6 +350,24 @@ let prop_transit_stub_connected =
       in
       Topology.connected ts.Pim_graph.Transit_stub.topo)
 
+(* A backbone chord can redraw an existing pair, and a stub chord can
+   land on a spanning-tree edge — both must be dropped, not doubled. *)
+let prop_transit_stub_simple_graph =
+  QCheck.Test.make ~name:"transit-stub topologies are simple graphs" ~count:60
+    QCheck.(quad (int_range 0 10000) (int_range 1 8) (int_range 1 4) (int_range 1 8))
+    (fun (seed, transit, stubs_per_transit, stub_size) ->
+      let prng = Prng.create seed in
+      let ts = Pim_graph.Transit_stub.generate ~transit ~stubs_per_transit ~stub_size ~prng () in
+      let keys =
+        Array.to_list (Topology.links ts.Pim_graph.Transit_stub.topo)
+        |> List.map (fun l ->
+               match l.Topology.ends with
+               | [| u; v |] -> (min u v, max u v)
+               | _ -> (-1, -1))
+      in
+      List.for_all (fun (u, v) -> u <> v && u >= 0) keys
+      && List.length keys = List.length (List.sort_uniq compare keys))
+
 (* Center *)
 
 let test_center_on_line () =
@@ -452,6 +470,7 @@ let () =
         [
           Alcotest.test_case "shape" `Quick test_transit_stub_shape;
           QCheck_alcotest.to_alcotest ~rand:(qcheck_rand ()) prop_transit_stub_connected;
+          QCheck_alcotest.to_alcotest ~rand:(qcheck_rand ()) prop_transit_stub_simple_graph;
         ] );
       ( "center",
         [

@@ -145,6 +145,37 @@ let test_metrics_histogram () =
   Alcotest.(check (float 1e-9)) "min" 1.0 s.Pim_util.Stats.min;
   Alcotest.(check (float 1e-9)) "max" 4.0 s.Pim_util.Stats.max
 
+(* A histogram keeps exact streaming aggregates and a bounded reservoir:
+   a flood of observations far beyond the reservoir capacity must still
+   report exact n/mean/min/max and in-range percentiles. *)
+let test_metrics_histogram_bounded () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "flood" in
+  let n = 100_000 in
+  for i = 1 to n do
+    Metrics.observe h (float_of_int i)
+  done;
+  Alcotest.(check int) "count" n (Metrics.histogram_count h);
+  let s = Metrics.histogram_summary h in
+  Alcotest.(check int) "summary n" n s.Pim_util.Stats.n;
+  Alcotest.(check (float 1e-6)) "exact mean" (float_of_int (n + 1) /. 2.) s.Pim_util.Stats.mean;
+  Alcotest.(check (float 1e-9)) "exact min" 1. s.Pim_util.Stats.min;
+  Alcotest.(check (float 1e-9)) "exact max" (float_of_int n) s.Pim_util.Stats.max;
+  (* Percentiles come from a uniform sample; they stay in range and
+     ordered even though only a bounded subset was retained. *)
+  Alcotest.(check bool) "p50 in range" true (s.Pim_util.Stats.p50 >= 1. && s.Pim_util.Stats.p50 <= float_of_int n);
+  Alcotest.(check bool) "p50 <= p95" true (s.Pim_util.Stats.p50 <= s.Pim_util.Stats.p95);
+  (* Same registry, same key, same observations: the reservoir PRNG is
+     keyed, not ambient, so summaries are reproducible. *)
+  let m2 = Metrics.create () in
+  let h2 = Metrics.histogram m2 "flood" in
+  for i = 1 to n do
+    Metrics.observe h2 (float_of_int i)
+  done;
+  let s2 = Metrics.histogram_summary h2 in
+  Alcotest.(check (float 0.)) "deterministic p50" s.Pim_util.Stats.p50 s2.Pim_util.Stats.p50;
+  Alcotest.(check (float 0.)) "deterministic p95" s.Pim_util.Stats.p95 s2.Pim_util.Stats.p95
+
 let test_metrics_type_clash () =
   let m = Metrics.create () in
   ignore (Metrics.counter m "x");
@@ -264,6 +295,7 @@ let () =
         [
           Alcotest.test_case "counters and gauges" `Quick test_metrics_counters;
           Alcotest.test_case "histogram summary" `Quick test_metrics_histogram;
+          Alcotest.test_case "histogram bounded" `Quick test_metrics_histogram_bounded;
           Alcotest.test_case "type clash rejected" `Quick test_metrics_type_clash;
           Alcotest.test_case "deterministic json" `Quick test_metrics_json_deterministic;
         ] );

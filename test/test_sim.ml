@@ -1,5 +1,16 @@
 (* Tests for Pim_sim: event engine, network delivery, trace. *)
 
+(* Pin the qcheck exploration seed so [dune runtest] draws the same
+   property cases on every run; export QCHECK_SEED to explore another
+   slice of the input space. *)
+let qcheck_rand () =
+  let seed =
+    match Sys.getenv_opt "QCHECK_SEED" with
+    | Some s -> ( try int_of_string s with _ -> 1994)
+    | None -> 1994
+  in
+  Random.State.make [| seed |]
+
 module Engine = Pim_sim.Engine
 module Net = Pim_sim.Net
 module Trace = Pim_sim.Trace
@@ -102,6 +113,139 @@ let test_engine_every_cancel_other () =
   Engine.run ~until:6.4 eng;
   Alcotest.(check int) "canceller keeps running" 6 !a_count;
   Alcotest.(check int) "cancelled timer stopped mid-run" 1 !b_count
+
+(* Cancellation must physically remove the event, not tombstone it: a
+   soft-state protocol arms and cancels timers constantly, and ghost
+   entries would both inflate [pending] and hold their closures live
+   until the (never-reached) fire time. *)
+let test_engine_cancel_no_ghosts () =
+  let eng = Engine.create () in
+  let n = 100_000 in
+  let fired = ref 0 in
+  let before = Gc.((quick_stat ()).heap_words) in
+  for round = 1 to 5 do
+    let handles =
+      List.init n (fun i ->
+          Engine.schedule eng ~after:(float_of_int (1 + (i mod 977))) (fun () -> incr fired))
+    in
+    Alcotest.(check int) "all pending" n (Engine.pending eng);
+    List.iter Engine.cancel handles;
+    Alcotest.(check int)
+      (Printf.sprintf "round %d: no ghost timers" round)
+      0 (Engine.pending eng)
+  done;
+  Engine.run eng;
+  Alcotest.(check int) "nothing fires" 0 !fired;
+  Alcotest.(check (float 1e-9)) "clock never advanced" 0. (Engine.now eng);
+  (* 5 rounds of 1e5 armed-then-cancelled timers must not accumulate:
+     the heap can grow transiently, but not by 5 rounds' worth. *)
+  Gc.compact ();
+  let after = Gc.((quick_stat ()).heap_words) in
+  Alcotest.(check bool) "memory bounded" true (after - before < 4 * n * 10)
+
+let test_engine_cancel_inside_tick () =
+  (* Two one-shot timers at the same instant: the first cancels the
+     second mid-dispatch, so the second must not fire even though it was
+     already due. *)
+  let eng = Engine.create () in
+  let b_fired = ref false in
+  let b = ref None in
+  ignore (Engine.schedule eng ~after:1. (fun () -> Option.iter Engine.cancel !b));
+  b := Some (Engine.schedule eng ~after:1. (fun () -> b_fired := true));
+  Engine.run eng;
+  Alcotest.(check bool) "cancelled mid-tick" false !b_fired;
+  Alcotest.(check (float 1e-9)) "clock reached the tick" 1. (Engine.now eng)
+
+let test_engine_every_start_zero () =
+  let eng = Engine.create () in
+  let times = ref [] in
+  let h = Engine.every eng ~start:0. ~interval:2. (fun () -> times := Engine.now eng :: !times) in
+  Engine.run ~until:5. eng;
+  Engine.cancel h;
+  Alcotest.(check (list (float 1e-9))) "fires at t=0 then every interval" [ 0.; 2.; 4. ]
+    (List.rev !times)
+
+let test_engine_fifo_across_reschedules () =
+  (* Same-timestamp events must run in schedule order even when earlier
+     activity forced the timer wheel to resize and re-bucket. *)
+  let eng = Engine.create () in
+  let spread =
+    List.init 600 (fun i -> Engine.schedule eng ~after:(0.001 *. float_of_int (i + 1)) (fun () -> ()))
+  in
+  let log = ref [] in
+  for i = 0 to 199 do
+    ignore (Engine.schedule eng ~after:50. (fun () -> log := i :: !log))
+  done;
+  List.iteri (fun i h -> if i mod 2 = 0 then Engine.cancel h) spread;
+  Engine.run eng;
+  Alcotest.(check (list int)) "fifo at one timestamp" (List.init 200 Fun.id) (List.rev !log)
+
+let test_engine_run_until_advances_clock () =
+  let eng = Engine.create () in
+  Engine.run ~until:7. eng;
+  Alcotest.(check (float 1e-9)) "empty queue still advances" 7. (Engine.now eng);
+  ignore (Engine.schedule eng ~after:1. (fun () -> ()));
+  Engine.run ~until:8. eng;
+  Alcotest.(check (float 1e-9)) "due event then clock at limit" 8. (Engine.now eng);
+  let fired = ref false in
+  ignore (Engine.schedule eng ~after:2. (fun () -> fired := true));
+  Engine.run ~until:10. eng;
+  Alcotest.(check bool) "event exactly at limit fires" true !fired
+
+(* Differential property: the timer wheel must execute any random
+   schedule-and-cancel workload in exactly the order the old binary-heap
+   queue did (time, then schedule order; cancelled events silent). *)
+let prop_wheel_matches_heap =
+  QCheck.Test.make ~name:"timer wheel executes like the reference heap" ~count:80
+    QCheck.(pair (int_range 0 100000) (int_range 1 400))
+    (fun (seed, ops) ->
+      let module Tw = Pim_util.Timer_wheel in
+      let module Heap = Pim_util.Heap in
+      let prng = Pim_util.Prng.create seed in
+      (* Reference: (time, seq, id, cancelled ref) in a heap, tombstone
+         cancellation — the pre-wheel engine's design. *)
+      let cmp (t1, s1, _, _) (t2, s2, _, _) =
+        match Float.compare t1 t2 with 0 -> Int.compare s1 s2 | c -> c
+      in
+      let heap = Heap.create ~cmp in
+      let wheel = Tw.create () in
+      let live = ref [] in
+      (* id -> (wheel node, cancelled flag) *)
+      let seq = ref 0 in
+      for id = 0 to ops - 1 do
+        match Pim_util.Prng.int prng 4 with
+        | 0 | 1 | 2 ->
+          let time = Pim_util.Prng.float prng 1000. in
+          let s = !seq in
+          incr seq;
+          let cancelled = ref false in
+          Heap.push heap (time, s, id, cancelled);
+          let node = Tw.add wheel ~time ~seq:s id in
+          live := (node, cancelled) :: !live
+        | _ -> (
+          match !live with
+          | [] -> ()
+          | l ->
+            let k = Pim_util.Prng.int prng (List.length l) in
+            let node, cancelled = List.nth l k in
+            cancelled := true;
+            Tw.cancel node;
+            live := List.filteri (fun i _ -> i <> k) l)
+      done;
+      let heap_order =
+        Heap.to_sorted_list heap
+        |> List.filter_map (fun (_, _, id, cancelled) -> if !cancelled then None else Some id)
+      in
+      let wheel_order = ref [] in
+      let rec drain () =
+        match Tw.pop wheel with
+        | None -> ()
+        | Some n ->
+          wheel_order := Tw.value n :: !wheel_order;
+          drain ()
+      in
+      drain ();
+      List.rev !wheel_order = heap_order)
 
 let test_engine_rejects_negative () =
   let eng = Engine.create () in
@@ -445,6 +589,12 @@ let () =
           Alcotest.test_case "every cancels another timer mid-tick" `Quick
             test_engine_every_cancel_other;
           Alcotest.test_case "rejects negative times" `Quick test_engine_rejects_negative;
+          Alcotest.test_case "cancel leaves no ghosts" `Quick test_engine_cancel_no_ghosts;
+          Alcotest.test_case "cancel inside tick" `Quick test_engine_cancel_inside_tick;
+          Alcotest.test_case "every with start 0" `Quick test_engine_every_start_zero;
+          Alcotest.test_case "fifo across wheel reshapes" `Quick test_engine_fifo_across_reschedules;
+          Alcotest.test_case "run until advances clock" `Quick test_engine_run_until_advances_clock;
+          QCheck_alcotest.to_alcotest ~rand:(qcheck_rand ()) prop_wheel_matches_heap;
         ] );
       ( "net",
         [

@@ -424,6 +424,20 @@ let test_stats_percentile_edges () =
   Alcotest.check feq "p100 singleton" 9. (Stats.percentile 100. [ 9. ]);
   Alcotest.check feq "p50 unsorted negatives" 1. (Stats.percentile 50. xs)
 
+let test_stats_percentile_sorted () =
+  let arr = [| -3.; 1.; 5.; 7. |] in
+  Alcotest.check feq "p0 is the minimum" (-3.) (Stats.percentile_sorted arr 0.);
+  Alcotest.check feq "p100 is the maximum" 7. (Stats.percentile_sorted arr 100.);
+  Alcotest.check feq "p50 nearest rank" 1. (Stats.percentile_sorted arr 50.);
+  Alcotest.check feq "empty" 0. (Stats.percentile_sorted [||] 50.);
+  (* The single-sort summary and the per-call percentile agree. *)
+  let xs = [ 7.; -3.; 5.; 1. ] in
+  let s = Stats.summarize xs in
+  Alcotest.check feq "summary p50" (Stats.percentile 50. xs) s.Stats.p50;
+  Alcotest.check feq "summary p95" (Stats.percentile 95. xs) s.Stats.p95;
+  Alcotest.check feq "summary min = p0" (Stats.percentile 0. xs) s.Stats.min;
+  Alcotest.check feq "summary max = p100" (Stats.percentile 100. xs) s.Stats.max
+
 let test_stats_empty_is_nan_free () =
   List.iter
     (fun (name, v) ->
@@ -548,6 +562,7 @@ let () =
           Alcotest.test_case "min/max" `Quick test_stats_minmax;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
           Alcotest.test_case "percentile edges" `Quick test_stats_percentile_edges;
+          Alcotest.test_case "percentile sorted" `Quick test_stats_percentile_sorted;
           Alcotest.test_case "empty inputs NaN-free" `Quick test_stats_empty_is_nan_free;
           Alcotest.test_case "summary" `Quick test_stats_summary;
         ] );
