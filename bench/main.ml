@@ -36,6 +36,9 @@ let regenerate () =
   Format.printf "%a@." Pim_exp.Fig1.pp_results (Pim_exp.Fig1.run ());
   Format.printf "%a@." Pim_exp.Overhead.pp_rows (Pim_exp.Overhead.run ~seed ());
   Format.printf "%a@." Pim_exp.Failover.pp_rows (Pim_exp.Failover.run ~seed ());
+  Format.printf "%a@." Pim_exp.Failover.pp_strategy_rows
+    (Pim_exp.Failover.run_strategies ~seed ());
+  Format.printf "%a@." Pim_exp.Rp_placement.pp_rows (Pim_exp.Rp_placement.run ~trials:4 ~seed ());
   Format.printf "%a@." Pim_exp.Ablation.pp_policy_rows (Pim_exp.Ablation.run_spt_policy ~seed ());
   Format.printf "%a@." Pim_exp.Ablation.pp_refresh_rows (Pim_exp.Ablation.run_refresh ~seed ());
   Format.printf "%a@." Pim_exp.Groups_scaling.pp_rows
@@ -84,6 +87,14 @@ let bench_failover =
   Test.make ~name:"e2-failover-run"
     (Staged.stage (fun () ->
          Sys.opaque_identity (Pim_exp.Failover.run ~timeouts:[ 5. ] ~seed ())))
+
+(* E2 strategy comparison: one full BSR election + RP-crash failover
+   run — bootstrap flooding, C-RP adverts, hash mapping, crash,
+   re-election, recovery. *)
+let bench_failover_election =
+  Test.make ~name:"e2-failover-election"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity (Pim_exp.Failover.run_strategies ~strategies:[ "bsr" ] ~seed ())))
 
 (* E3: the three-policy ablation. *)
 let bench_ablation =
@@ -215,6 +226,7 @@ let run_benchmarks () =
         bench_fig1;
         bench_overhead_point;
         bench_failover;
+        bench_failover_election;
         bench_ablation;
         bench_refresh;
         bench_groups_point;
@@ -369,6 +381,13 @@ let json_subjects () =
     Pim_sim.Engine.run ~until:80. eng;
     ignore (Sys.opaque_identity dep)
   in
+  (* One full dynamic-RP failover: BSR election, C-RP adverts and hash
+     mapping over a live 3x3 grid, an RP crash mid-stream, re-election
+     and recovery — the whole bootstrap control plane end to end. *)
+  let failover_election () =
+    ignore
+      (Sys.opaque_identity (Pim_exp.Failover.run_strategies ~strategies:[ "bsr" ] ~seed ()))
+  in
   [
     ("fig2a-trial", fig2a_trial);
     ("fig2a-degree-sweep-20", fig2a_degree_sweep);
@@ -378,6 +397,7 @@ let json_subjects () =
     ("all-pairs-50n", all_pairs);
     ("engine-1k-events", engine_events);
     ("engine-1M-events", engine_events_1m);
+    ("failover-election", failover_election);
     ("transit-stub-2000n", transit_stub_2000n);
   ]
 
@@ -437,14 +457,15 @@ let run_json path =
 
 (* {1 Regression gate}
 
-   [--check PATH] re-measures the engine subjects and compares them
-   against the committed baseline.  Wall clock differs across machines
+   [--check PATH] re-measures the engine subjects plus the BSR
+   failover-election run and compares them against the committed
+   baseline.  Wall clock differs across machines
    and noisy CI runners, so it only fails on a large factor — chosen so
    that reverting the timer wheel to the old heap (a ~5.8x slowdown on
    engine-1k-events) trips the gate with margin.  Allocation per run is
    deterministic and gets a tight bound. *)
 
-let check_subjects = [ "engine-1k-events"; "engine-1M-events" ]
+let check_subjects = [ "engine-1k-events"; "engine-1M-events"; "failover-election" ]
 
 let wall_budget = 3.0
 

@@ -144,13 +144,27 @@ let overhead_cmd =
     Term.(const run $ seed_arg $ nodes_arg $ packets)
 
 let failover_cmd =
-  let run seed =
-    let rows = Pim_exp.Failover.run ~seed () in
-    Format.printf "%a" Pim_exp.Failover.pp_rows rows
+  let run seed strategies =
+    match strategies with
+    | false ->
+      let rows = Pim_exp.Failover.run ~seed () in
+      Format.printf "%a" Pim_exp.Failover.pp_rows rows
+    | true ->
+      let rows = Pim_exp.Failover.run_strategies ~seed () in
+      Format.printf "%a" Pim_exp.Failover.pp_strategy_rows rows
+  in
+  let strategies =
+    Arg.(
+      value & flag
+      & info [ "strategies" ]
+          ~doc:
+            "Sweep RP placement strategies (static, random, center, locality, vns, bsr) \
+             instead of RP-reachability timeouts; the bsr row runs a live election with no \
+             static RP configuration.")
   in
   Cmd.v
     (Cmd.info "failover" ~doc:"E2: RP crash and receiver failover latency (section 3.9).")
-    Term.(const run $ seed_arg)
+    Term.(const run $ seed_arg $ strategies)
 
 let ablation_cmd =
   let run seed =
@@ -211,7 +225,7 @@ let loss_cmd =
     Term.(const run $ seed_arg)
 
 let chaos_cmd =
-  let run seed nodes receivers events topology protocols json =
+  let run seed nodes receivers events topology fault rp_strategy protocols json =
     let topology_name = topology in
     let topology =
       match topology with
@@ -219,6 +233,22 @@ let chaos_cmd =
       | "transit-stub" -> `Transit_stub
       | s -> Format.eprintf "chaos: unknown topology %S (use random or transit-stub)@." s; exit 2
     in
+    let fault_name = fault in
+    let fault =
+      match fault with
+      | "random" -> `Random
+      | "rp-crash" -> `Rp_crash
+      | s -> Format.eprintf "chaos: unknown fault kind %S (use random or rp-crash)@." s; exit 2
+    in
+    if
+      not
+        (List.mem rp_strategy [ "static"; "random"; "center"; "locality"; "vns"; "bsr" ])
+    then begin
+      Format.eprintf
+        "chaos: unknown RP strategy %S (use static, random, center, locality, vns or bsr)@."
+        rp_strategy;
+      exit 2
+    end;
     let protocols =
       match protocols with
       | "" -> None
@@ -254,12 +284,17 @@ let chaos_cmd =
           ("receivers", Int receivers);
           ("events", Int events);
           ("topology", Str topology_name);
+          ("fault", Str fault_name);
+          ("rp_strategy", Str rp_strategy);
         ]
     in
     let report = ref None in
     ignore
       (with_json_output ~experiment:"chaos" ~json ~params ~row_to_json (fun () ->
-           let r = Pim_exp.Chaos.run ~nodes ~receivers ~events ~topology ?protocols ~seed () in
+           let r =
+             Pim_exp.Chaos.run ~nodes ~receivers ~events ~topology ~fault ~rp_strategy
+               ?protocols ~seed ()
+           in
            report := Some r;
            r.Pim_exp.Chaos.rows));
     let report = Option.get !report in
@@ -288,6 +323,25 @@ let chaos_cmd =
             "Topology kind: $(b,random) (flat random graph) or $(b,transit-stub) (two-level \
              wide-area structure sized to --nodes routers; use --nodes 2000 for the scale run).")
   in
+  let fault =
+    Arg.(
+      value
+      & opt string "random"
+      & info [ "fault" ]
+          ~doc:
+            "Fault kind: $(b,random) (mixed flaps/crashes/bursts) or $(b,rp-crash) (crash and \
+             partition schedules aimed at the placed RP nodes; defaults --protocols to PIM-SM).")
+  in
+  let rp_strategy =
+    Arg.(
+      value
+      & opt string "static"
+      & info [ "rp-strategy" ]
+          ~doc:
+            "RP placement for PIM-SM: $(b,static), $(b,random), $(b,center), $(b,locality), \
+             $(b,vns) (installed as static configuration) or $(b,bsr) (dynamic election, no \
+             static mapping).")
+  in
   let protocols =
     Arg.(
       value
@@ -301,7 +355,149 @@ let chaos_cmd =
        ~doc:
          "E9: fault-injection differential — one seeded fault schedule vs all four protocols, \
           with a global invariant oracle (any violation exits nonzero).")
-    Term.(const run $ seed_arg $ nodes $ receivers $ events $ topology $ protocols $ json_arg)
+    Term.(
+      const run $ seed_arg $ nodes $ receivers $ events $ topology $ fault $ rp_strategy
+      $ protocols $ json_arg)
+
+let rp_cmd =
+  let run seed nodes degree groups members strategy json =
+    let module Prng = Pim_util.Prng in
+    let module Addr = Pim_net.Addr in
+    if
+      not (List.mem strategy [ "static"; "random"; "center"; "locality"; "vns" ])
+    then begin
+      Format.eprintf
+        "rp: unknown strategy %S (use static, random, center, locality or vns)@." strategy;
+      exit 2
+    end;
+    let prng = Prng.create seed in
+    let topo = Pim_graph.Random_graph.generate ~prng ~nodes ~degree () in
+    let group_list = List.init groups (fun i -> Pim_net.Group.of_index (i + 1)) in
+    let gmembers =
+      List.map
+        (fun g -> (g, Pim_graph.Random_graph.pick_members ~prng ~nodes ~count:members))
+        group_list
+    in
+    let placement =
+      match strategy with
+      | "static" -> List.map (fun (g, _) -> (g, [ Addr.router 0 ])) gmembers
+      | s -> (
+        match Pim_core.Placement.named s with
+        | Some spec -> Pim_core.Placement.compute ~topo ~groups:gmembers ~seed spec
+        | None -> assert false)
+    in
+    let rp_nodes =
+      List.concat_map (fun (_, rps) -> List.filter_map Addr.router_index rps) placement
+      |> List.sort_uniq Int.compare
+    in
+    let cbsrs =
+      List.init nodes Fun.id
+      |> List.filter (fun u -> not (List.mem u rp_nodes))
+      |> List.filteri (fun i _ -> i < 2)
+      |> List.mapi (fun i u -> (u, 2 - i))
+    in
+    let roles = Pim_core.Placement.roles placement ~n_nodes:nodes ~cbsrs in
+    let eng = Pim_sim.Engine.create () in
+    let net = Pim_sim.Net.create eng topo in
+    let static = Pim_routing.Static.create net in
+    let bsr =
+      Pim_core.Bsr.deploy ~config:Pim_core.Bsr.fast ~forward_unicast:true ~net
+        ~ribs:(Pim_routing.Static.rib static) ~roles ()
+    in
+    Pim_sim.Engine.run ~until:30. eng;
+    let elected = Pim_core.Bsr.elected_bsr bsr 0 in
+    let mapping = Pim_core.Bsr.mapping bsr 0 group_list in
+    let disagreements = ref 0 in
+    for u = 1 to nodes - 1 do
+      if not (Option.equal Addr.equal (Pim_core.Bsr.elected_bsr bsr u) elected) then
+        incr disagreements;
+      if
+        not
+          (List.equal
+             (fun (g1, r1) (g2, r2) ->
+               Pim_net.Group.equal g1 g2 && List.equal Addr.equal r1 r2)
+             (Pim_core.Bsr.mapping bsr u group_list)
+             mapping)
+      then incr disagreements
+    done;
+    Format.printf "# rp: BSR election over the %s placement (seed %d, %d nodes)@." strategy
+      seed nodes;
+    Format.printf "# elected BSR: %s (of %d candidates)@."
+      (match elected with Some a -> Addr.to_string a | None -> "-")
+      (List.length cbsrs);
+    Format.printf "# %-18s %-40s %s@." "group" "elected_rps" "placed_rps";
+    List.iter
+      (fun (g, rps) ->
+        let placed = Option.value ~default:[] (List.assoc_opt g placement) in
+        Format.printf "  %-18s %-40s %s@." (Pim_net.Group.to_string g)
+          (String.concat "," (List.map Addr.to_string rps))
+          (String.concat "," (List.map Addr.to_string placed)))
+      mapping;
+    let comparison = Pim_exp.Rp_placement.run ~seed () in
+    Format.printf "%a" Pim_exp.Rp_placement.pp_rows comparison;
+    let row_to_json (r : Pim_exp.Rp_placement.row) =
+      Pim_util.Json.(
+        Obj
+          [
+            ("strategy", Str r.strategy);
+            ("max_link_streams", Float r.max_link_streams);
+            ("mean_max_delay", Float r.mean_max_delay);
+            ("mean_delay_variation", Float r.mean_delay_variation);
+            ("shard_balance", Float r.shard_balance);
+            ("trials", Int r.trials);
+          ])
+    in
+    let params =
+      Pim_util.Json.
+        [
+          ("seed", Int seed);
+          ("nodes", Int nodes);
+          ("groups", Int groups);
+          ("members", Int members);
+          ("strategy", Str strategy);
+          ( "elected_bsr",
+            match elected with Some a -> Str (Addr.to_string a) | None -> Null );
+          ( "mapping",
+            Arr
+              (List.map
+                 (fun (g, rps) ->
+                   Obj
+                     [
+                       ("group", Str (Pim_net.Group.to_string g));
+                       ("rps", Arr (List.map (fun a -> Str (Addr.to_string a)) rps));
+                     ])
+                 mapping) );
+          ("disagreements", Int !disagreements);
+        ]
+    in
+    ignore
+      (with_json_output ~experiment:"rp" ~json ~params ~row_to_json (fun () -> comparison));
+    if !disagreements > 0 then begin
+      Format.eprintf "rp: %d router(s) disagree with the elected mapping (seed %d)@."
+        !disagreements seed;
+      exit 1
+    end
+  in
+  let nodes = Arg.(value & opt int 24 & info [ "nodes" ] ~doc:"Routers in the random network.") in
+  let degree = Arg.(value & opt float 4. & info [ "degree" ] ~doc:"Mean node degree.") in
+  let groups = Arg.(value & opt int 4 & info [ "groups" ] ~doc:"Groups to map.") in
+  let members = Arg.(value & opt int 5 & info [ "members" ] ~doc:"Members per group.") in
+  let strategy =
+    Arg.(
+      value
+      & opt string "center"
+      & info [ "strategy" ]
+          ~doc:
+            "Placement advertised through the election: $(b,static), $(b,random), \
+             $(b,center), $(b,locality) or $(b,vns).")
+  in
+  Cmd.v
+    (Cmd.info "rp"
+       ~doc:
+         "Run a BSR election over a placed candidate-RP set, print the elected group-to-RP \
+          mapping (exit 1 if any router disagrees), and the placement-strategy comparison \
+          sweep.")
+    Term.(const run $ seed_arg $ nodes $ degree $ groups $ members $ strategy $ json_arg)
 
 let all_cmd =
   let run seed =
@@ -495,4 +691,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ fig2a_cmd; fig2b_cmd; fig1_cmd; overhead_cmd; failover_cmd; ablation_cmd; refresh_cmd; groups_cmd; aggregation_cmd; churn_cmd; loss_cmd; chaos_cmd; trace_cmd; all_cmd; lint_cmd ]))
+          [ fig2a_cmd; fig2b_cmd; fig1_cmd; overhead_cmd; failover_cmd; ablation_cmd; refresh_cmd; groups_cmd; aggregation_cmd; churn_cmd; loss_cmd; chaos_cmd; rp_cmd; trace_cmd; all_cmd; lint_cmd ]))

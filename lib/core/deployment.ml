@@ -6,10 +6,12 @@ type t = {
   routers : Router.t array;
 }
 
-let create ?config ?igmp_config ?trace ~net ~ribs ~rp_set () =
+let create ?config ?igmp_config ?trace ?bsr ~net ~ribs ~rp_set () =
   let n = Topology.n_nodes (Net.topo net) in
   let routers =
-    Array.init n (fun u -> Router.create ?config ?igmp_config ?trace ~net ~rib:(ribs u) ~rp_set u)
+    Array.init n (fun u ->
+        let rp_lookup = Option.map (fun b g -> Bsr.lookup b u g) bsr in
+        Router.create ?config ?igmp_config ?trace ?rp_lookup ~net ~rib:(ribs u) ~rp_set u)
   in
   { net; routers }
 

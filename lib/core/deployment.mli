@@ -9,11 +9,15 @@ val create :
   ?config:Config.t ->
   ?igmp_config:Pim_igmp.Router.config ->
   ?trace:Pim_sim.Trace.t ->
+  ?bsr:Bsr.t ->
   net:Pim_sim.Net.t ->
   ribs:(Pim_graph.Topology.node -> Pim_routing.Rib.t) ->
   rp_set:Rp_set.t ->
   unit ->
   t
+(** [bsr] connects every router to an already-deployed election
+    subsystem ({!Bsr.deploy} on the same [net]): each router consults the
+    node's elected group-to-RP mapping before the static [rp_set]. *)
 
 val create_static :
   ?config:Config.t ->

@@ -18,11 +18,20 @@ type join_prune = {
   holdtime : float;
 }
 
+type crp = {
+  crp_addr : Addr.t;
+  priority : int;
+  crp_holdtime : float;
+  coverage : Group.t list;
+}
+
 type Packet.payload +=
   | Join_prune of join_prune
   | Join_prune_bundle of join_prune list
   | Register of Packet.t
   | Rp_reachability of { group : Group.t; rp : Addr.t }
+  | Crp_advert of crp
+  | Bootstrap of { bsr : Addr.t; bsr_priority : int; seq : int; crps : crp list }
 
 let jp_entry ?(wc = false) ?(rp = false) ?(plen = 32) addr = { addr; wc; rp; plen }
 
@@ -53,6 +62,16 @@ let () =
       Some (Printf.sprintf "pim-register [%s]" (Packet.payload_to_string inner.Packet.payload))
     | Rp_reachability { group; rp } ->
       Some (Printf.sprintf "pim-rp-reach %s rp=%s" (Group.to_string group) (Addr.to_string rp))
+    | Crp_advert c ->
+      Some
+        (Printf.sprintf "pim-crp-advert rp=%s prio=%d groups=%s"
+           (Addr.to_string c.crp_addr) c.priority
+           (if c.coverage = [] then "*"
+            else String.concat "," (List.map Group.to_string c.coverage)))
+    | Bootstrap { bsr; bsr_priority; seq; crps } ->
+      Some
+        (Printf.sprintf "pim-bootstrap bsr=%s prio=%d seq=%d crps=%d"
+           (Addr.to_string bsr) bsr_priority seq (List.length crps))
     | _ -> None)
 
 let all_pim_routers_group = Group.of_addr_exn Addr.all_pim_routers
@@ -75,3 +94,15 @@ let register_packet ~src ~rp inner =
 let rp_reachability_packet ~src ~group ~rp =
   Packet.multicast ~src ~group:all_pim_routers_group ~ttl:1 ~size:16
     (Rp_reachability { group; rp })
+
+let crp ?(priority = 0) ?(holdtime = 150.) ?(coverage = []) addr =
+  { crp_addr = addr; priority; crp_holdtime = holdtime; coverage }
+
+let crp_size c = 12 + (8 * max 1 (List.length c.coverage))
+
+let crp_advert_packet ~src ~bsr c = Packet.unicast ~src ~dst:bsr ~size:(8 + crp_size c) (Crp_advert c)
+
+let bootstrap_packet ~src ~bsr ~bsr_priority ~seq crps =
+  let size = 16 + List.fold_left (fun acc c -> acc + crp_size c) 0 crps in
+  Packet.multicast ~src ~group:all_pim_routers_group ~ttl:1 ~size
+    (Bootstrap { bsr; bsr_priority; seq; crps })

@@ -29,6 +29,17 @@ type join_prune = {
   holdtime : float;  (** how long receivers should keep the oifs alive *)
 }
 
+type crp = {
+  crp_addr : Pim_net.Addr.t;  (** address receivers will join toward *)
+  priority : int;  (** higher wins when ranking RPs for a group *)
+  crp_holdtime : float;  (** soft-state lifetime of this advertisement *)
+  coverage : Pim_net.Group.t list;
+      (** groups this candidate serves; [[]] means every group *)
+}
+(** A candidate-RP advertisement record, in the spirit of the PIM-SM
+    bootstrap mechanism the paper's section 3.9 alludes to ("alternative
+    RPs" discovered rather than configured). *)
+
 type Pim_net.Packet.payload +=
   | Join_prune of join_prune
   | Join_prune_bundle of join_prune list
@@ -43,6 +54,17 @@ type Pim_net.Packet.payload +=
   | Rp_reachability of { group : Pim_net.Group.t; rp : Pim_net.Addr.t }
       (** periodic liveness beacon distributed down the "(*,G)" tree
           (sections 3.2, 3.9) *)
+  | Crp_advert of crp
+      (** candidate-RP advertisement, unicast periodically to the elected
+          bootstrap router *)
+  | Bootstrap of {
+      bsr : Pim_net.Addr.t;
+      bsr_priority : int;
+      seq : int;
+      crps : crp list;
+    }
+      (** bootstrap message: the elected BSR's identity plus the current
+          RP-set snapshot, flooded hop-by-hop ([seq] dedups re-floods) *)
 
 val jp_entry : ?wc:bool -> ?rp:bool -> ?plen:int -> Pim_net.Addr.t -> jp_entry
 (** [plen] defaults to 32 (a single source or RP). *)
@@ -67,5 +89,22 @@ val register_packet : src:Pim_net.Addr.t -> rp:Pim_net.Addr.t -> Pim_net.Packet.
 
 val rp_reachability_packet :
   src:Pim_net.Addr.t -> group:Pim_net.Group.t -> rp:Pim_net.Addr.t -> Pim_net.Packet.t
+
+val crp :
+  ?priority:int -> ?holdtime:float -> ?coverage:Pim_net.Group.t list -> Pim_net.Addr.t -> crp
+(** [priority] defaults to 0, [holdtime] to 150 s, [coverage] to [[]]
+    (all groups). *)
+
+val crp_advert_packet : src:Pim_net.Addr.t -> bsr:Pim_net.Addr.t -> crp -> Pim_net.Packet.t
+(** Unicast advertisement toward the elected BSR. *)
+
+val bootstrap_packet :
+  src:Pim_net.Addr.t ->
+  bsr:Pim_net.Addr.t ->
+  bsr_priority:int ->
+  seq:int ->
+  crp list ->
+  Pim_net.Packet.t
+(** Multicast to 224.0.0.2, TTL 1 — each hop re-originates the flood. *)
 
 val pp_jp_entry : Format.formatter -> jp_entry -> unit

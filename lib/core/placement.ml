@@ -1,0 +1,303 @@
+module Topology = Pim_graph.Topology
+module Center = Pim_graph.Center
+module Spt = Pim_graph.Spt
+module Addr = Pim_net.Addr
+module Group = Pim_net.Group
+module Prng = Pim_util.Prng
+
+type spec =
+  | Static of (Group.t * Addr.t list) list
+  | Random of int
+  | Centered of int
+  | Locality of int
+  | Vns of { iters : int; delay_factor : float }
+
+let named ?(k = 2) ?(iters = 32) ?(delay_factor = 1.5) = function
+  | "random" -> Some (Random k)
+  | "center" -> Some (Centered k)
+  | "locality" -> Some (Locality k)
+  | "vns" -> Some (Vns { iters; delay_factor })
+  | _ -> None
+
+(* Same mix the BSR hash-mapping uses: ranks equal-priority candidates
+   per group so multi-RP sets shard groups instead of piling onto one. *)
+let group_rp_mix g node =
+  let gi = Int32.to_int (Addr.to_int32 (Group.to_addr g)) in
+  let x = (gi * 0x9e3779b1) lxor (node * 0x85ebca6b) in
+  let x = x lxor (x lsr 15) in
+  x land 0x3fffffff
+
+let dist apsp u v = apsp.(u).(v)
+
+(* Max shared-tree delay with [v] as the rendezvous, over the member set
+   acting as both senders and receivers; [max_int] when disconnected.
+   [cbt_max_delay] skips the [s = r] pairs, which would score every
+   candidate 0 for a singleton member set (letting the tie-break pick an
+   arbitrary far-away node); score those by round-trip distance instead. *)
+let rendezvous_score apsp members v =
+  match members with
+  | [ m ] ->
+    let d = dist apsp v m in
+    if d = max_int then max_int else 2 * d
+  | _ -> Center.cbt_max_delay apsp ~center:v ~senders:members ~receivers:members
+
+let candidates topo ~forbidden =
+  let n = Topology.n_nodes topo in
+  List.init n Fun.id |> List.filter (fun v -> not (List.mem v forbidden))
+
+let top_k_centers apsp ~members ~pool k =
+  pool
+  |> List.filter_map (fun v ->
+         let s = rendezvous_score apsp members v in
+         if s = max_int then None else Some (s, v))
+  |> List.sort (fun (s1, v1) (s2, v2) ->
+         match Int.compare s1 s2 with 0 -> Int.compare v1 v2 | c -> c)
+  |> List.filteri (fun i _ -> i < k)
+  |> List.map snd
+
+(* Farthest-point clustering of the member set (the locality heuristic of
+   arXiv:1606.04928: several cores, each close to one cluster of
+   receivers), then one core per cluster from the candidate pool. *)
+let locality_rps apsp ~members ~pool k =
+  let members = List.sort_uniq Int.compare members in
+  match members with
+  | [] -> []
+  | _ ->
+    let k = max 1 (min k (List.length members)) in
+    let eccentricity m =
+      List.fold_left (fun acc o -> max acc (dist apsp m o)) 0 members
+    in
+    let first =
+      List.fold_left
+        (fun best m ->
+          match best with
+          | None -> Some (eccentricity m, m)
+          | Some (be, bm) ->
+            let e = eccentricity m in
+            if e < be || (e = be && m < bm) then Some (e, m) else best)
+        None members
+      |> Option.get |> snd
+    in
+    (* Accumulated in reverse, restored below; [gap] does not care about
+       seed order. *)
+    let seeds = ref [ first ] in
+    for _ = 2 to k do
+      let gap m = List.fold_left (fun acc s -> min acc (dist apsp m s)) max_int !seeds in
+      let next =
+        List.fold_left
+          (fun best m ->
+            if List.mem m !seeds then best
+            else
+              match best with
+              | None -> Some (gap m, m)
+              | Some (bg, bm) ->
+                let g = gap m in
+                if g > bg || (g = bg && m < bm) then Some (g, m) else best)
+          None members
+      in
+      match next with None -> () | Some (_, m) -> seeds := m :: !seeds
+    done;
+    let seeds = List.rev !seeds in
+    let cluster_of m =
+      List.fold_left
+        (fun (bd, bs) s ->
+          let d = dist apsp m s in
+          if d < bd then (d, s) else (bd, bs))
+        (max_int, List.hd seeds)
+        seeds
+      |> snd
+    in
+    let clusters =
+      List.map (fun s -> (s, List.filter (fun m -> cluster_of m = s) members)) seeds
+      |> List.filter (fun (_, ms) -> ms <> [])
+    in
+    let core_of ms =
+      pool
+      |> List.filter_map (fun v ->
+             let s = rendezvous_score apsp ms v in
+             if s = max_int then None else Some (s, v))
+      |> List.fold_left
+           (fun best (s, v) ->
+             match best with
+             | None -> Some (s, v)
+             | Some (bs, bv) -> if s < bs || (s = bs && v < bv) then Some (s, v) else best)
+           None
+      |> Option.map snd
+    in
+    clusters
+    |> List.filter_map (fun (_, ms) -> Option.map (fun c -> (List.length ms, c)) (core_of ms))
+    |> List.sort (fun (n1, c1) (n2, c2) ->
+           match Int.compare n2 n1 with 0 -> Int.compare c1 c2 | c -> c)
+    |> List.map snd
+    |> List.fold_left (fun acc c -> if List.mem c acc then acc else c :: acc) []
+    |> List.rev
+
+(* Variable neighborhood search for a delay-variation-minimizing RP under
+   a bounded max-delay constraint (arXiv:1303.4771): shake within growing
+   neighborhoods of the incumbent, descend with best-improvement moves. *)
+let vns_rp apsp ~members ~pool ~prng ~iters ~delay_factor =
+  let feasible_scores =
+    List.filter_map
+      (fun v ->
+        let s = rendezvous_score apsp members v in
+        if s = max_int then None else Some (v, s))
+      pool
+  in
+  match feasible_scores with
+  | [] -> None
+  | _ ->
+    let best_max = List.fold_left (fun acc (_, s) -> min acc s) max_int feasible_scores in
+    let bound =
+      int_of_float (Float.round (delay_factor *. float_of_int best_max))
+    in
+    let variation v =
+      let ds = List.map (fun m -> dist apsp v m) members in
+      if List.exists (fun d -> d = max_int) ds then max_int
+      else
+        List.fold_left max 0 ds - List.fold_left min max_int ds
+    in
+    let cost v =
+      let s = rendezvous_score apsp members v in
+      if s > bound then None else Some (variation v, s, v)
+    in
+    let compare_cost (va, sa, ia) (vb, sb, ib) =
+      match Int.compare va vb with
+      | 0 -> ( match Int.compare sa sb with 0 -> Int.compare ia ib | c -> c)
+      | c -> c
+    in
+    let feasible = List.filter_map (fun (v, _) -> cost v) feasible_scores in
+    (match feasible with
+    | [] -> None
+    | _ ->
+      (* Start from the min-max-delay center, the natural initial
+         solution; VNS then trades residual delay slack for variation. *)
+      let center_start =
+        List.fold_left
+          (fun best (v, s) ->
+            match best with
+            | None -> Some (s, v)
+            | Some (bs, bv) -> if s < bs || (s = bs && v < bv) then Some (s, v) else best)
+          None feasible_scores
+        |> Option.get |> snd
+      in
+      let neighborhood v width =
+        feasible_scores
+        |> List.map (fun (u, _) -> (dist apsp v u, u))
+        |> List.sort (fun (d1, u1) (d2, u2) ->
+               match Int.compare d1 d2 with 0 -> Int.compare u1 u2 | c -> c)
+        |> List.filteri (fun i _ -> i < width)
+        |> List.map snd
+      in
+      (* [descend] starts from a known-feasible cost triple; shaken nodes
+         outside the delay bound are simply skipped (they widen the next
+         shake instead). *)
+      let descend c0 =
+        let current = ref c0 in
+        let improved = ref true in
+        while !improved do
+          improved := false;
+          let _, _, here = !current in
+          List.iter
+            (fun u ->
+              match cost u with
+              | Some c when compare_cost c !current < 0 ->
+                current := c;
+                improved := true
+              | _ -> ())
+            (neighborhood here 8)
+        done;
+        !current
+      in
+      let incumbent = ref (descend (Option.get (cost center_start))) in
+      let k = ref 1 in
+      for _ = 1 to iters do
+        let _, _, here = !incumbent in
+        let hood = neighborhood here (8 * !k) in
+        let shaken = List.nth hood (Prng.int prng (List.length hood)) in
+        (match cost shaken with
+        | Some c ->
+          let candidate = descend c in
+          if compare_cost candidate !incumbent < 0 then begin
+            incumbent := candidate;
+            k := 1
+          end
+          else k := min 3 (!k + 1)
+        | None -> k := min 3 (!k + 1))
+      done;
+      let _, _, v = !incumbent in
+      Some (v, center_start))
+
+let compute ~topo ?apsp ~groups ?(forbidden = []) ~seed spec =
+  match spec with
+  | Static mapping ->
+    List.sort (fun (g1, _) (g2, _) -> Group.compare g1 g2) mapping
+  | _ ->
+    let apsp = match apsp with Some m -> m | None -> Spt.all_pairs topo in
+    let pool = candidates topo ~forbidden in
+    let prng = Prng.create seed in
+    groups
+    |> List.sort (fun (g1, _) (g2, _) -> Group.compare g1 g2)
+    |> List.map (fun (g, members) ->
+           let prng = Prng.split prng in
+           let members = List.sort_uniq Int.compare members in
+           let rps =
+             match spec with
+             | Static _ -> assert false
+             | Random k ->
+               let arr = Array.of_list pool in
+               let k = max 1 (min k (Array.length arr)) in
+               Prng.sample prng k (Array.length arr)
+               |> List.map (fun i -> arr.(i))
+               |> List.map (fun v -> (group_rp_mix g v, v))
+               |> List.sort (fun (h1, v1) (h2, v2) ->
+                      match Int.compare h2 h1 with 0 -> Int.compare v1 v2 | c -> c)
+               |> List.map snd
+             | Centered k -> top_k_centers apsp ~members ~pool (max 1 k)
+             | Locality k -> locality_rps apsp ~members ~pool (max 1 k)
+             | Vns { iters; delay_factor } -> (
+               match vns_rp apsp ~members ~pool ~prng ~iters ~delay_factor with
+               | None -> []
+               | Some (best, center) ->
+                 if best = center then
+                   (* Keep a distinct alternate for failover when one
+                      exists. *)
+                   best :: List.filter (fun v -> v <> best) (top_k_centers apsp ~members ~pool 2)
+                 else [ best; center ])
+           in
+           (g, List.map Addr.router rps))
+
+(* Per-group rank becomes per-record priority, so the BSR hash ranking
+   reproduces exactly the placement's ordered RP list at every router. *)
+let rank_priority_base = 16
+
+let roles mapping ~n_nodes ~cbsrs =
+  let per_node = Array.make n_nodes [] in
+  mapping
+  |> List.sort (fun (g1, _) (g2, _) -> Group.compare g1 g2)
+  |> List.iter (fun (g, rps) ->
+         List.iteri
+           (fun rank rp ->
+             match Addr.router_index rp with
+             | Some v when v < n_nodes ->
+               per_node.(v) <- (max 1 (rank_priority_base - rank), g) :: per_node.(v)
+             | _ -> ())
+           rps);
+  Array.mapi
+    (fun v recs ->
+      let by_priority =
+        List.sort_uniq
+          (fun (p1, g1) (p2, g2) ->
+            match Int.compare p1 p2 with 0 -> Group.compare g1 g2 | c -> c)
+          recs
+      in
+      let priorities = List.sort_uniq Int.compare (List.map fst by_priority) |> List.rev in
+      let crp_records =
+        List.map
+          (fun p -> (p, List.filter_map (fun (p', g) -> if p' = p then Some g else None) by_priority))
+          priorities
+      in
+      let cbsr_priority = List.assoc_opt v cbsrs in
+      { Bsr.cbsr_priority; crp_records })
+    per_node
+
+let rp_set_of mapping = Rp_set.of_list mapping

@@ -1,0 +1,70 @@
+(** Pluggable RP placement strategies.
+
+    The paper treats where RPs live as orthogonal configuration
+    ("administratively chosen", section 3.1); this module makes the
+    choice a first-class, comparable strategy.  Every strategy maps each
+    group to an {e ordered} RP list — first entry primary, the rest the
+    failover order of section 3.9 — which can be installed statically
+    ({!rp_set_of}) or advertised dynamically through the BSR election
+    ({!roles}, see {!Bsr}).
+
+    Strategies:
+    - {!Static}: a hand-written mapping (today's {!Rp_set} workflow);
+    - {!Random}: [k] RPs drawn uniformly from the candidate pool, ranked
+      per group by the BSR hash — the baseline any informed placement
+      must beat;
+    - {!Centered}: the [k] topological centers minimizing max shared-tree
+      delay over the member set (the CBT core-placement heuristic);
+    - {!Locality}: farthest-point clustering of the members into [k]
+      clusters with one core each, ordered by cluster size — the
+      locality-based multi-core placement of arXiv:1606.04928, the
+      scale-out path for group sharding;
+    - {!Vns}: variable neighborhood search minimizing delay variation
+      subject to a bounded max delay (arXiv:1303.4771); the min-max
+      center rides along as the alternate.
+
+    All strategies are deterministic in [(seed, topology, groups)]:
+    groups are processed in ascending group order with one split PRNG
+    stream each, so results are independent of caller enumeration
+    order. *)
+
+type spec =
+  | Static of (Pim_net.Group.t * Pim_net.Addr.t list) list
+  | Random of int  (** [k] RPs per group, uniform over the pool *)
+  | Centered of int  (** [k] best min-max-delay centers *)
+  | Locality of int  (** [k]-cluster locality placement (1606.04928) *)
+  | Vns of { iters : int; delay_factor : float }
+      (** VNS delay-variation minimization; max delay bounded by
+          [delay_factor] times the best achievable (1303.4771) *)
+
+val named : ?k:int -> ?iters:int -> ?delay_factor:float -> string -> spec option
+(** CLI names: ["random"], ["center"], ["locality"], ["vns"].  Defaults:
+    [k = 2], [iters = 32], [delay_factor = 1.5].  [None] for unknown
+    names ("static" needs an explicit mapping and is built by callers). *)
+
+val compute :
+  topo:Pim_graph.Topology.t ->
+  ?apsp:int array array ->
+  groups:(Pim_net.Group.t * Pim_graph.Topology.node list) list ->
+  ?forbidden:Pim_graph.Topology.node list ->
+  seed:int ->
+  spec ->
+  (Pim_net.Group.t * Pim_net.Addr.t list) list
+(** Place RPs for each group given its member (sender and receiver)
+    nodes.  [apsp] is {!Pim_graph.Spt.all_pairs} (computed when absent);
+    [forbidden] excludes nodes from the candidate pool (e.g. sources and
+    receivers in RP-crash experiments, so faults never hit endpoints).
+    The result is in ascending group order. *)
+
+val roles :
+  (Pim_net.Group.t * Pim_net.Addr.t list) list ->
+  n_nodes:int ->
+  cbsrs:(Pim_graph.Topology.node * int) list ->
+  Bsr.role array
+(** Convert a placement into per-node BSR roles: the RP at rank [i] for a
+    group advertises that group at priority [16 - i], so the elected
+    mapping reproduces the placement's failover order exactly.  [cbsrs]
+    lists the candidate bootstrap routers with their priorities. *)
+
+val rp_set_of : (Pim_net.Group.t * Pim_net.Addr.t list) list -> Rp_set.t
+(** The same placement as static configuration. *)

@@ -83,6 +83,8 @@ type t = {
   eng : Engine.t;
   rib : Rib.t;
   rp_set : Rp_set.t;
+  rp_lookup : (Group.t -> Addr.t list) option;
+      (* dynamic (elected) group-to-RP mapping, consulted before [rp_set] *)
   cfg : Config.t;
   igmp : Pim_igmp.Router.t;
   fib : Fwd.t;
@@ -155,10 +157,16 @@ let entry_target (e : Fwd.entry) =
 let compute_upstream t target =
   if Addr.equal target t.addr then None else t.rib.Rib.next_hop target
 
-(* G -> RP list: static configuration first, host-advertised hints as the
-   fallback (section 3.1). *)
+(* G -> RP list: the dynamic (elected) mapping wins when it knows the
+   group, then static configuration, then host-advertised hints
+   (section 3.1). *)
 let rps_for t g =
-  match Rp_set.rps t.rp_set g with [] -> Pim_igmp.Router.rp_hint t.igmp g | rps -> rps
+  match (match t.rp_lookup with Some f -> f g | None -> []) with
+  | _ :: _ as rps -> rps
+  | [] -> (
+    match Rp_set.rps t.rp_set g with
+    | [] -> Pim_igmp.Router.rp_hint t.igmp g
+    | rps -> rps)
 
 let is_rp_for t g = List.exists (Addr.equal t.addr) (rps_for t g)
 
@@ -328,11 +336,13 @@ let local_deliver t pkt =
 let on_local_data t f = Pim_util.Vec.push t.local_cbs f
 
 let add_local_member t g ~iface =
+  (* Remember the membership regardless: with dynamic RP election the
+     mapping can arrive after the join, and [sweep] retries then. *)
+  if not (List.mem (g, iface) t.local_members) then
+    t.local_members <- (g, iface) :: t.local_members;
   match select_rp t g with
-  | None -> tr t "ignore" "group %s has no RP: not sparse-mode" (Group.to_string g)
+  | None -> tr t "ignore" "group %s has no RP yet: not sparse-mode" (Group.to_string g)
   | Some rp ->
-    if not (List.mem (g, iface) t.local_members) then
-      t.local_members <- (g, iface) :: t.local_members;
     let e = ensure_star t g ~rp in
     Fwd.add_oif e iface ~expires:(now t) ~local:true;
     keepalive t e;
@@ -935,6 +945,13 @@ let rp_failover t (e : Fwd.entry) =
   | [] -> e.Fwd.rp_deadline <- now t +. t.cfg.rp_timeout (* keep waiting *)
   | rp :: _ ->
     t.stats.rp_failovers <- t.stats.rp_failovers + 1;
+    ev t
+      (Event.Rp_failover
+         {
+           group = Group.to_string e.Fwd.group;
+           from_rp = Option.map Addr.to_string current;
+           to_rp = Addr.to_string rp;
+         });
     tr t "rp-failover" "group %s: RP %s unreachable, joining %s"
       (Group.to_string e.Fwd.group)
       (match current with Some a -> Addr.to_string a | None -> "?")
@@ -1168,13 +1185,32 @@ let sweep t =
       in
       if a.was_wanted && not wanted then triggered_prune t e;
       a.was_wanted <- wanted;
-      (* RP failover check at routers with directly connected members. *)
-      if Fwd.is_star e
-         && List.exists (fun (o : Fwd.oif) -> o.Fwd.local) e.Fwd.oifs
-         && e.Fwd.rp_deadline < n
-      then rp_failover t e;
+      (* RP failover at routers with directly connected members: either
+         the RP stopped proving liveness (deadline passed), or a dynamic
+         mapping change dropped it from the group's RP list (BSR churn)
+         — in which case re-target immediately rather than waiting out
+         the reachability timeout. *)
+      (if Fwd.is_star e && List.exists (fun (o : Fwd.oif) -> o.Fwd.local) e.Fwd.oifs then
+         let stale =
+           match (e.Fwd.rp, rps_for t e.Fwd.group) with
+           | Some cur, (_ :: _ as rps) -> not (List.exists (Addr.equal cur) rps)
+           | _ -> false
+         in
+         if stale || e.Fwd.rp_deadline < n then rp_failover t e);
       if e.Fwd.expires < n then delete_entry t e)
-    (Fwd.entries t.fib)
+    (Fwd.entries t.fib);
+  (* Memberships recorded before any RP mapping was known (election still
+     converging at join time): retry until one appears. *)
+  List.iter
+    (fun (g, iface) ->
+      if Fwd.find_star t.fib g = None then
+        match select_rp t g with
+        | Some rp ->
+          let e = ensure_star t g ~rp in
+          Fwd.add_oif e iface ~expires:n ~local:true;
+          keepalive t e
+        | None -> ())
+    t.local_members
 
 (* {1 Packet dispatch} *)
 
@@ -1198,7 +1234,7 @@ let handle_packet t ~iface pkt =
       | _ -> ())
   end
 
-let create ?(config = Config.default) ?igmp_config ?trace ~net ~rib ~rp_set node =
+let create ?(config = Config.default) ?igmp_config ?trace ?rp_lookup ~net ~rib ~rp_set node =
   let eng = Net.engine net in
   let igmp = Pim_igmp.Router.create ?config:igmp_config net ~node in
   let t =
@@ -1209,6 +1245,7 @@ let create ?(config = Config.default) ?igmp_config ?trace ~net ~rib ~rp_set node
       eng;
       rib;
       rp_set;
+      rp_lookup;
       cfg = config;
       igmp;
       fib = Fwd.create ();

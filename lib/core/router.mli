@@ -53,13 +53,19 @@ val create :
   ?config:Config.t ->
   ?igmp_config:Pim_igmp.Router.config ->
   ?trace:Pim_sim.Trace.t ->
+  ?rp_lookup:(Pim_net.Group.t -> Pim_net.Addr.t list) ->
   net:Pim_sim.Net.t ->
   rib:Pim_routing.Rib.t ->
   rp_set:Rp_set.t ->
   Pim_graph.Topology.node ->
   t
 (** Installs the node's packet handler and starts the periodic timers.
-    The [rib] must belong to the same node. *)
+    The [rib] must belong to the same node.  [rp_lookup] supplies a
+    dynamic (elected) group-to-RP mapping, consulted before the static
+    [rp_set] — see {!Bsr}; when it returns [[]] for a group the static
+    set and host hints apply, so routers degrade to configuration while
+    an election converges.  Memberships joined before any mapping exists
+    are remembered and retried every sweep. *)
 
 val node : t -> Pim_graph.Topology.node
 

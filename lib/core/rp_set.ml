@@ -16,4 +16,6 @@ let rps t g = Option.value (GroupMap.find_opt g t) ~default:[]
 
 let is_sparse t g = rps t g <> []
 
-let groups t = GroupMap.fold (fun g _ acc -> g :: acc) t []
+(* The fold visits keys in ascending order; consing reverses, so restore
+   the canonical ascending order the interface promises. *)
+let groups t = GroupMap.fold (fun g _ acc -> g :: acc) t [] |> List.rev

@@ -24,3 +24,7 @@ val rps : t -> Pim_net.Group.t -> Pim_net.Addr.t list
 val is_sparse : t -> Pim_net.Group.t -> bool
 
 val groups : t -> Pim_net.Group.t list
+(** Every group with a mapping, in canonical ascending {!Pim_net.Group.compare}
+    order.  The ordering is part of the interface: callers enumerate RP
+    configurations into reports and protocol messages, so a stable,
+    documented order is what keeps seeded runs byte-identical. *)

@@ -317,12 +317,27 @@ let pim_state_checks ~net ~static ~deployment:d =
   in
   [ ("iif-consistency", iif_check); ("stale-oif", stale_oif_check) ]
 
-let pim_setup ~rp ~source net =
+let pim_setup ~rp_mode ~source net =
   let config = Pim_core.Config.fast in
   let static = Pim_routing.Static.create net in
-  let rp_set = Pim_core.Rp_set.single group (Addr.router rp) in
+  let bsr, rp_set, election_wait =
+    match rp_mode with
+    | `Static rp_set -> (None, rp_set, 0.)
+    | `Bsr roles ->
+      let b =
+        Pim_core.Bsr.deploy ~config:Pim_core.Bsr.fast ~net
+          ~ribs:(Pim_routing.Static.rib static) ~roles ()
+      in
+      (* A crashed-and-restarted RP re-enters the mapping only after its
+         advert reaches the BSR and a bootstrap flood spreads it; routers
+         then notice stale shared trees via rp_timeout.  Both waits come
+         on top of the usual join/prune refresh settle time. *)
+      ( Some b,
+        Pim_core.Rp_set.empty,
+        Pim_core.Bsr.failover_budget Pim_core.Bsr.fast +. config.Pim_core.Config.rp_timeout )
+  in
   let d =
-    Pim_core.Deployment.create ~config ~net ~ribs:(Pim_routing.Static.rib static) ~rp_set ()
+    Pim_core.Deployment.create ~config ?bsr ~net ~ribs:(Pim_routing.Static.rib static) ~rp_set ()
   in
   {
     name = "PIM-SM";
@@ -335,13 +350,16 @@ let pim_setup ~rp ~source net =
     send =
       (fun () -> Pim_core.Router.send_local_data (Pim_core.Deployment.router d source) ~group ());
     entries = (fun () -> Pim_core.Deployment.total_entries d);
-    restart = (fun u -> Pim_core.Router.restart (Pim_core.Deployment.router d u));
+    restart =
+      (fun u ->
+        Pim_core.Router.restart (Pim_core.Deployment.router d u);
+        Option.iter (fun b -> Pim_core.Bsr.restart b u) bsr);
     state_checks = pim_state_checks ~net ~static ~deployment:d;
     max_copies = 1;
     (* A few jp_periods: crashed transit routers are rebuilt by their
        downstream neighbors' periodic refresh, one hop per period worst
        case. *)
-    recover_wait = 5. *. config.Pim_core.Config.jp_period;
+    recover_wait = (5. *. config.Pim_core.Config.jp_period) +. election_wait;
     (* Soft state tears down serially: the RP's entry lingers past the
        last data, then each hop toward the source keeps refreshing its
        upstream until its own oif times out — one oif holdtime per hop,
@@ -478,7 +496,8 @@ let transit_stub_sizes ~nodes =
   (transit, stubs_per_transit, stub_size)
 
 let run ?(nodes = 30) ?(degree = 4.) ?(receivers = 5) ?(events = 8) ?(fault_window = 40.)
-    ?(mean_outage = 8.) ?(topology = `Random) ?protocols ~seed () =
+    ?(mean_outage = 8.) ?(topology = `Random) ?(fault = `Random) ?(rp_strategy = "static")
+    ?protocols ~seed () =
   let prng = Prng.create seed in
   let topo, members, delay_bound =
     match topology with
@@ -519,22 +538,78 @@ let run ?(nodes = 30) ?(degree = 4.) ?(receivers = 5) ?(events = 8) ?(fault_wind
     | None -> 0
   in
   let rp = List.hd members in
+  let endpoints = source :: members in
+  (* RP placement per [rp_strategy].  Endpoints are excluded from every
+     computed pool so rp-crash fault targets never hit the protected
+     source or receivers; the legacy "static" strategy keeps the first
+     member as RP except in rp-crash runs, where it falls back to the
+     first two non-endpoint routers. *)
+  let placement =
+    match rp_strategy with
+    | "static" -> (
+      match fault with
+      | `Random -> [ (group, [ Addr.router rp ]) ]
+      | `Rp_crash ->
+        let pool =
+          List.init nodes Fun.id
+          |> List.filter (fun u -> not (List.mem u endpoints))
+          |> List.filteri (fun i _ -> i < 2)
+        in
+        [ (group, List.map Addr.router pool) ])
+    | "bsr" ->
+      Pim_core.Placement.compute ~topo ~groups:[ (group, endpoints) ] ~forbidden:endpoints
+        ~seed (Pim_core.Placement.Centered 2)
+    | s -> (
+      match Pim_core.Placement.named s with
+      | Some spec ->
+        Pim_core.Placement.compute ~topo ~groups:[ (group, endpoints) ] ~forbidden:endpoints
+          ~seed spec
+      | None -> invalid_arg (Printf.sprintf "Chaos.run: unknown RP strategy %S" s))
+  in
+  let rp_nodes =
+    List.concat_map (fun (_, rps) -> List.filter_map Addr.router_index rps) placement
+    |> List.sort_uniq Int.compare
+  in
+  let rp_mode =
+    if String.equal rp_strategy "bsr" then
+      (* Candidate BSRs sit off both the endpoints and the RP targets so
+         the election substrate itself survives the targeted faults. *)
+      let cbsrs =
+        List.init nodes Fun.id
+        |> List.filter (fun u -> not (List.mem u endpoints) && not (List.mem u rp_nodes))
+        |> List.filteri (fun i _ -> i < 2)
+        |> List.mapi (fun i u -> (u, 2 - i))
+      in
+      `Bsr (Pim_core.Placement.roles placement ~n_nodes:nodes ~cbsrs)
+    else `Static (Pim_core.Placement.rp_set_of placement)
+  in
   let fault_end = fault_start +. fault_window in
   (* One schedule, decided before any protocol runs, replayed verbatim
      against each of them. *)
   let schedule =
-    Fault.random_schedule ~prng:(Prng.split prng) ~topo ~start:fault_start ~until:fault_end
-      ~protected:(source :: members) ~events ~mean_outage ()
+    match fault with
+    | `Random ->
+      Fault.random_schedule ~prng:(Prng.split prng) ~topo ~start:fault_start ~until:fault_end
+        ~protected:endpoints ~events ~mean_outage ()
+    | `Rp_crash ->
+      Fault.targeted_schedule ~prng:(Prng.split prng) ~targets:rp_nodes ~start:fault_start
+        ~until:fault_end ~events ~mean_outage ()
   in
   let go build = run_protocol ~topo ~schedule ~fault_end ~members ~delay_bound ~build in
   (* Canonical report order: the fixed protocol list below — the report
      row order is part of the byte-identical reproducibility contract.
      [protocols] selects a subset (large-topology scale runs exercise
-     one protocol at a time) without disturbing that order. *)
-  let wanted name = match protocols with None -> true | Some ps -> List.mem name ps in
+     one protocol at a time) without disturbing that order.  RP-crash
+     runs default to PIM-SM alone: only it consumes the RP placement
+     under test (CBT keeps its legacy member-homed core). *)
+  let wanted name =
+    match protocols with
+    | Some ps -> List.mem name ps
+    | None -> ( match fault with `Random -> true | `Rp_crash -> String.equal name "PIM-SM")
+  in
   let rows =
     [
-      ("PIM-SM", pim_setup ~rp ~source);
+      ("PIM-SM", pim_setup ~rp_mode ~source);
       ("PIM-DM", dense_setup ~source);
       ("CBT", cbt_setup ~core:rp ~source);
       ("MOSPF", mospf_setup ~source ~members);

@@ -47,19 +47,38 @@ val run :
   ?fault_window:float ->
   ?mean_outage:float ->
   ?topology:[ `Random | `Transit_stub ] ->
+  ?fault:[ `Random | `Rp_crash ] ->
+  ?rp_strategy:string ->
   ?protocols:string list ->
   seed:int ->
   unit ->
   report
 (** Defaults: 30 nodes, degree 4, 5 receivers, 8 fault events over a
-    40 s window, a [`Random] topology, all four protocols.
-    Deterministic for a given seed.
+    40 s window, a [`Random] topology, [`Random] faults, the ["static"]
+    RP strategy, all four protocols.  Deterministic for a given seed.
 
     [`Transit_stub] builds a two-level {!Pim_graph.Transit_stub}
     topology sized to roughly [nodes] routers (2000 maps exactly onto
     50 transit routers with three 13-router stubs each), with receivers
     placed on non-gateway stub routers; [degree] is ignored.  This is
     the multi-thousand-router scale configuration.
+
+    [fault:`Rp_crash] replaces the random schedule with
+    {!Pim_sim.Fault.targeted_schedule} aimed at the placed RP nodes —
+    the worst-case outage for a shared-tree protocol — and defaults
+    [protocols] to [["PIM-SM"]], the only protocol consuming the RP
+    placement (CBT keeps its legacy member-homed core).
+
+    [rp_strategy] selects how PIM-SM's RPs are placed and installed:
+    ["static"] (the legacy first-member RP; under rp-crash, the first
+    two non-endpoint routers so targets stay distinct from protected
+    endpoints), any {!Pim_core.Placement.named} strategy (["random"],
+    ["center"], ["locality"], ["vns"]) installed as static
+    configuration, or ["bsr"], which installs {e no} static mapping at
+    all: a {!Pim_core.Bsr} election over a centered placement's
+    candidate roles supplies the mapping dynamically, crashed agents
+    restart alongside their routers, and the PIM settle time grows by
+    {!Pim_core.Bsr.failover_budget} plus the RP-reachability timeout.
 
     [protocols] restricts the run to the named subset of
     [["PIM-SM"; "PIM-DM"; "CBT"; "MOSPF"]], preserving that canonical

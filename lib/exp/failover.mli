@@ -19,3 +19,35 @@ val run : ?timeouts:float list -> seed:int -> unit -> row list
     beacons). *)
 
 val pp_rows : Format.formatter -> row list -> unit
+
+type strategy_row = {
+  strategy : string;
+  gap : float;  (** longest post-establishment inter-arrival gap *)
+  budget : float;
+      (** detection budget: rp_timeout, plus the election's
+          {!Pim_core.Bsr.failover_budget} for the ["bsr"] strategy *)
+  delivered_before : int;
+  delivered_after : int;
+  failovers : int;
+  elections : int;  (** BSR step-ups (0 for static strategies) *)
+  mapping_changes : int;  (** watched-mapping transitions (BSR only) *)
+  control : int;  (** control-plane link traversals, whole run *)
+  orphaned_entries : int;
+      (** ["(*,G)"] entries still pointing at the crashed RP at the end —
+          state the failover/soft-state machinery failed to re-home *)
+}
+
+val all_strategies : string list
+(** [["static"; "random"; "center"; "locality"; "vns"; "bsr"]] — the
+    canonical order of {!run_strategies} rows. *)
+
+val run_strategies : ?strategies:string list -> seed:int -> unit -> strategy_row list
+(** The same grid, stream and crash as {!run}, but the group-to-RP
+    mapping comes from each {!Pim_core.Placement} strategy in turn —
+    installed statically, or (["bsr"]) advertised through a live
+    bootstrap election with no static configuration.  The crash targets
+    the strategy's primary RP.  Each strategy draws from its own split
+    PRNG stream keyed by the canonical order, so running a subset
+    reproduces the full run's rows byte for byte. *)
+
+val pp_strategy_rows : Format.formatter -> strategy_row list -> unit

@@ -1,0 +1,131 @@
+module Prng = Pim_util.Prng
+module Topology = Pim_graph.Topology
+module Spt = Pim_graph.Spt
+module Center = Pim_graph.Center
+module Random_graph = Pim_graph.Random_graph
+module Group = Pim_net.Group
+module Addr = Pim_net.Addr
+module Placement = Pim_core.Placement
+
+type row = {
+  strategy : string;
+  max_link_streams : float;
+  mean_max_delay : float;
+  mean_delay_variation : float;
+  shard_balance : float;
+  trials : int;
+}
+
+(* The "static" baseline of this sweep: one hand-configured RP for the
+   whole domain (router 0), the paper's administratively-chosen default. *)
+let mapping_for ~topo ~apsp ~groups ~seed strategy =
+  match strategy with
+  | "static" -> List.map (fun (g, _) -> (g, [ Addr.router 0 ])) groups
+  | s -> (
+    match Placement.named s with
+    | Some spec -> Placement.compute ~topo ~apsp ~groups ~seed spec
+    | None -> invalid_arg (Printf.sprintf "Rp_placement.run: unknown strategy %S" s))
+
+let all_strategies = [ "static"; "random"; "center"; "locality"; "vns" ]
+
+type acc = {
+  mutable sum_max_streams : float;
+  mutable sum_max_delay : float;
+  mutable sum_variation : float;
+  mutable sum_balance : float;
+  mutable n_groups_seen : int;
+}
+
+let run ?(nodes = 40) ?(degree = 4.) ?(n_groups = 24) ?(members = 6) ?(trials = 8)
+    ?(strategies = all_strategies) ~seed () =
+  let prng = Prng.create seed in
+  let accs = List.map (fun s -> (s, { sum_max_streams = 0.; sum_max_delay = 0.; sum_variation = 0.; sum_balance = 0.; n_groups_seen = 0 })) all_strategies in
+  for _ = 1 to trials do
+    (* One stream per trial: every strategy sees the identical topology,
+       group memberships and placement seed, so rows differ only by the
+       placement itself. *)
+    let tp = Prng.split prng in
+    let topo = Random_graph.generate ~prng:tp ~nodes ~degree () in
+    let apsp = Spt.all_pairs topo in
+    let groups =
+      List.init n_groups (fun i ->
+          (Group.of_index (i + 1), Random_graph.pick_members ~prng:tp ~nodes ~count:members))
+    in
+    let placement_seed = Prng.int tp 0x3FFFFFFF in
+    let n_links = Topology.n_links topo in
+    List.iter
+      (fun (sname, acc) ->
+        let mapping = mapping_for ~topo ~apsp ~groups ~seed:placement_seed sname in
+        let flows = Array.make n_links 0 in
+        let trees : (int, Spt.tree) Hashtbl.t = Hashtbl.create 8 in
+        let tree_of rp =
+          match Hashtbl.find_opt trees rp with
+          | Some t -> t
+          | None ->
+            let t = Spt.single_source topo rp in
+            Hashtbl.replace trees rp t;
+            t
+        in
+        let per_rp : (int, int) Hashtbl.t = Hashtbl.create 8 in
+        List.iter
+          (fun (g, ms) ->
+            match List.assoc_opt g mapping with
+            | None | Some [] -> ()
+            | Some (rp0 :: _) -> (
+              match Addr.router_index rp0 with
+              | None -> ()
+              | Some rp ->
+                Hashtbl.replace per_rp rp
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt per_rp rp));
+                (* One aggregate stream per group covers its whole shared
+                   tree — the concentration measure of Figure 2(b), here
+                   across placements instead of tree kinds. *)
+                List.iter
+                  (fun (_, _, lid) -> flows.(lid) <- flows.(lid) + 1)
+                  (Spt.tree_edges (tree_of rp) ~members:ms);
+                let d = Center.cbt_max_delay apsp ~center:rp ~senders:ms ~receivers:ms in
+                if d <> max_int then acc.sum_max_delay <- acc.sum_max_delay +. float_of_int d;
+                let dists =
+                  List.filter_map
+                    (fun m -> if apsp.(rp).(m) = max_int then None else Some apsp.(rp).(m))
+                    ms
+                in
+                (match dists with
+                | [] -> ()
+                | _ ->
+                  let mx = List.fold_left max 0 dists in
+                  let mn = List.fold_left min max_int dists in
+                  acc.sum_variation <- acc.sum_variation +. float_of_int (mx - mn));
+                acc.n_groups_seen <- acc.n_groups_seen + 1))
+          groups;
+        acc.sum_max_streams <-
+          acc.sum_max_streams +. float_of_int (Array.fold_left max 0 flows);
+        let busiest = Hashtbl.fold (fun _ c acc -> max acc c) per_rp 0 in
+        acc.sum_balance <- acc.sum_balance +. (float_of_int busiest /. float_of_int n_groups))
+      (List.filter (fun (s, _) -> List.mem s strategies) accs)
+  done;
+  accs
+  |> List.filter (fun (s, _) -> List.mem s strategies)
+  |> List.map (fun (strategy, acc) ->
+         let per_group x =
+           if acc.n_groups_seen = 0 then 0. else x /. float_of_int acc.n_groups_seen
+         in
+         {
+           strategy;
+           max_link_streams = acc.sum_max_streams /. float_of_int trials;
+           mean_max_delay = per_group acc.sum_max_delay;
+           mean_delay_variation = per_group acc.sum_variation;
+           shard_balance = acc.sum_balance /. float_of_int trials;
+           trials;
+         })
+
+let pp_rows ppf rows =
+  Format.fprintf ppf
+    "# RP placement: shared-tree concentration and delay per strategy@.";
+  Format.fprintf ppf "# %-9s %12s %10s %10s %8s %7s@." "strategy" "max_streams"
+    "max_delay" "delay_var" "balance" "trials";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-9s %12.1f %10.2f %10.2f %8.2f %7d@." r.strategy
+        r.max_link_streams r.mean_max_delay r.mean_delay_variation r.shard_balance r.trials)
+    rows

@@ -1,0 +1,52 @@
+(** Per-strategy RP placement sweep: traffic concentration and delay.
+
+    For each {!Pim_core.Placement} strategy, place RPs for many groups on
+    the same random topologies and measure what the placement buys:
+
+    - {e concentration}: one aggregate stream per group covers its shared
+      RP tree; the busiest link's stream count is the Figure 2(b)
+      traffic-concentration measure, here compared across placements
+      rather than tree kinds;
+    - {e delay}: the worst member-to-member delay through the group's
+      primary RP, and the spread (max minus min) of member distances to
+      it — the objective VNS placement minimizes (arXiv:1303.4771);
+    - {e sharding}: the fraction of groups homed on the most-loaded
+      primary RP — 1.0 when every group piles onto one RP, approaching
+      [1/k] when per-group hash ranking shards groups across a multi-RP
+      set (arXiv:1606.04928).
+
+    The ["bsr"] strategy is absent by design: the election distributes a
+    placement, it does not choose one — its cost is measured by
+    {!Failover.run_strategies} and the chaos harness instead.
+
+    Every strategy sees identical topologies, memberships and placement
+    seeds per trial, so rows differ only by the placement itself. *)
+
+type row = {
+  strategy : string;
+  max_link_streams : float;  (** busiest link's group-stream count, mean over trials *)
+  mean_max_delay : float;  (** worst member delay via the primary RP, mean over groups *)
+  mean_delay_variation : float;  (** spread of member distances to the RP *)
+  shard_balance : float;  (** groups on the most-loaded RP / total groups *)
+  trials : int;
+}
+
+val all_strategies : string list
+(** [["static"; "random"; "center"; "locality"; "vns"]], the canonical
+    row order.  ["static"] is one hand-configured domain RP (router 0). *)
+
+val run :
+  ?nodes:int ->
+  ?degree:float ->
+  ?n_groups:int ->
+  ?members:int ->
+  ?trials:int ->
+  ?strategies:string list ->
+  seed:int ->
+  unit ->
+  row list
+(** Defaults: 40 nodes, degree 4, 24 groups of 6 members, 8 trials, all
+    strategies.  Deterministic per seed; [strategies] selects a subset
+    without changing any selected row's numbers. *)
+
+val pp_rows : Format.formatter -> row list -> unit

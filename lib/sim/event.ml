@@ -18,6 +18,10 @@ type t =
   | Pkt_send of { src : string; group : string; iface : int }
   | Pkt_deliver of { src : string; group : string; iface : int }
   | Pkt_drop of { src : string; group : string; iface : int; reason : string }
+  | Candidate_rp of { rp : string; priority : int; groups : int }
+  | Bsr_elected of { bsr : string; priority : int }
+  | Rp_mapping of { group : string; rp : string option }
+  | Rp_failover of { group : string; from_rp : string option; to_rp : string }
 
 let tag = function
   | Join _ -> "join"
@@ -32,6 +36,10 @@ let tag = function
   | Pkt_send _ -> "fwd"
   | Pkt_deliver _ -> "deliver"
   | Pkt_drop _ -> "drop"
+  | Candidate_rp _ -> "crp-advert"
+  | Bsr_elected _ -> "bsr-elected"
+  | Rp_mapping _ -> "rp-mapping-change"
+  | Rp_failover _ -> "rp-failover"
 
 let route_equal a b =
   String.equal a.group b.group
@@ -65,8 +73,18 @@ let equal a b =
   | Pkt_drop x, Pkt_drop y ->
     pkt_equal (x.src, x.group, x.iface) (y.src, y.group, y.iface)
     && String.equal x.reason y.reason
+  | Candidate_rp x, Candidate_rp y ->
+    String.equal x.rp y.rp && Int.equal x.priority y.priority && Int.equal x.groups y.groups
+  | Bsr_elected x, Bsr_elected y -> String.equal x.bsr y.bsr && Int.equal x.priority y.priority
+  | Rp_mapping x, Rp_mapping y ->
+    String.equal x.group y.group && Option.equal String.equal x.rp y.rp
+  | Rp_failover x, Rp_failover y ->
+    String.equal x.group y.group
+    && Option.equal String.equal x.from_rp y.from_rp
+    && String.equal x.to_rp y.to_rp
   | ( ( Join _ | Prune _ | Graft _ | Register _ | Register_stop _ | Spt_switch _ | Assert _
-      | Entry_install _ | Entry_expire _ | Pkt_send _ | Pkt_deliver _ | Pkt_drop _ ),
+      | Entry_install _ | Entry_expire _ | Pkt_send _ | Pkt_deliver _ | Pkt_drop _
+      | Candidate_rp _ | Bsr_elected _ | Rp_mapping _ | Rp_failover _ ),
       _ ) ->
     false
 
@@ -91,6 +109,16 @@ let pp ppf = function
   | Pkt_deliver e -> Format.fprintf ppf "deliver (%s, %s) iface %d" e.src e.group e.iface
   | Pkt_drop e ->
     Format.fprintf ppf "drop (%s, %s) iface %d: %s" e.src e.group e.iface e.reason
+  | Candidate_rp e ->
+    Format.fprintf ppf "c-rp %s prio %d %s" e.rp e.priority
+      (if e.groups = 0 then "all groups" else Printf.sprintf "%d group(s)" e.groups)
+  | Bsr_elected e -> Format.fprintf ppf "bsr %s prio %d" e.bsr e.priority
+  | Rp_mapping e ->
+    Format.fprintf ppf "%s -> %s" e.group (match e.rp with Some rp -> rp | None -> "(none)")
+  | Rp_failover e ->
+    Format.fprintf ppf "%s: %s -> %s" e.group
+      (match e.from_rp with Some rp -> rp | None -> "(none)")
+      e.to_rp
 
 let route_fields r =
   [
@@ -128,6 +156,23 @@ let to_json ev =
         ("iface", Json.Int e.iface);
         ("reason", Json.Str e.reason);
       ]
+  | Candidate_rp e ->
+    typed "crp-advert"
+      [ ("rp", Json.Str e.rp); ("priority", Json.Int e.priority); ("groups", Json.Int e.groups) ]
+  | Bsr_elected e -> typed "bsr-elected" [ ("bsr", Json.Str e.bsr); ("priority", Json.Int e.priority) ]
+  | Rp_mapping e ->
+    typed "rp-mapping-change"
+      [
+        ("group", Json.Str e.group);
+        ("rp", match e.rp with Some rp -> Json.Str rp | None -> Json.Null);
+      ]
+  | Rp_failover e ->
+    typed "rp-failover"
+      [
+        ("group", Json.Str e.group);
+        ("from", match e.from_rp with Some rp -> Json.Str rp | None -> Json.Null);
+        ("to", Json.Str e.to_rp);
+      ]
 
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
 
@@ -140,6 +185,12 @@ let int_field j name =
   match Option.bind (Json.member name j) Json.to_int with
   | Some i -> Ok i
   | None -> Error (Printf.sprintf "missing or non-integer field %S" name)
+
+let opt_str_field j name =
+  match Json.member name j with
+  | Some Json.Null -> Ok None
+  | Some (Json.Str s) -> Ok (Some s)
+  | _ -> Error (Printf.sprintf "missing or ill-typed field %S" name)
 
 let route_of j =
   let* group = str_field j "group" in
@@ -188,4 +239,22 @@ let of_json j =
     let* iface = int_field j "iface" in
     let* reason = str_field j "reason" in
     Ok (Pkt_drop { src; group; iface; reason })
+  | "crp-advert" ->
+    let* rp = str_field j "rp" in
+    let* priority = int_field j "priority" in
+    let* groups = int_field j "groups" in
+    Ok (Candidate_rp { rp; priority; groups })
+  | "bsr-elected" ->
+    let* bsr = str_field j "bsr" in
+    let* priority = int_field j "priority" in
+    Ok (Bsr_elected { bsr; priority })
+  | "rp-mapping-change" ->
+    let* group = str_field j "group" in
+    let* rp = opt_str_field j "rp" in
+    Ok (Rp_mapping { group; rp })
+  | "rp-failover" ->
+    let* group = str_field j "group" in
+    let* from_rp = opt_str_field j "from" in
+    let* to_rp = str_field j "to" in
+    Ok (Rp_failover { group; from_rp; to_rp })
   | other -> Error (Printf.sprintf "unknown event type %S" other)

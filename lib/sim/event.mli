@@ -46,6 +46,17 @@ type t =
   | Pkt_drop of { src : string; group : string; iface : int; reason : string }
       (** Data packet discarded; [reason] is a stable keyword
           (e.g. ["iif"], ["no-state"], ["dup"], ["ttl"]). *)
+  | Candidate_rp of { rp : string; priority : int; groups : int }
+      (** Candidate-RP advertisement sent toward the BSR; [groups] is the
+          coverage count (0 = advertises for every group). *)
+  | Bsr_elected of { bsr : string; priority : int }
+      (** This router accepted [bsr] as the elected bootstrap router. *)
+  | Rp_mapping of { group : string; rp : string option }
+      (** The router's group-to-RP mapping changed; [None] means the group
+          lost its mapping (all candidate state expired). *)
+  | Rp_failover of { group : string; from_rp : string option; to_rp : string }
+      (** Shared-tree state re-targeted from a failed or withdrawn RP to an
+          alternate (section 3.9). *)
 
 val tag : t -> string
 (** Short event-class keyword, identical to the tag the string trace uses

@@ -121,6 +121,29 @@ let install ?(restart = fun _ -> ()) net events =
     events;
   t
 
+(* Faults aimed at specific nodes (the elected RPs, in the chaos
+   harness's rp-crash mode): alternate crash/restart and brief isolation,
+   cycling over the targets.  Events are confined to successive windows so
+   a partition always heals before the next fault begins, and everything
+   heals before [until]. *)
+let targeted_schedule ~prng ~targets ~start ~until ?(events = 4) ?(mean_outage = 8.) () =
+  if until <= start then invalid_arg "Fault.targeted_schedule: until must exceed start";
+  if targets = [] then invalid_arg "Fault.targeted_schedule: no targets";
+  let targets = Array.of_list targets in
+  let window = (until -. start) /. float_of_int events in
+  List.init events (fun i ->
+      let w0 = start +. (window *. float_of_int i) in
+      let at = w0 +. Prng.float prng (Float.max 0.1 (window /. 2.)) in
+      let d =
+        let d = mean_outage *. (0.5 +. Prng.float prng 1.0) in
+        Float.min d (Float.max 0.5 (w0 +. window -. at -. 0.1))
+      in
+      let u = targets.(i mod Array.length targets) in
+      if i mod 2 = 0 then [ { at; action = Node_crash (u, d) } ]
+      else [ { at; action = Partition [ u ] }; { at = at +. d; action = Heal } ])
+  |> List.concat
+  |> List.sort (fun a b -> Float.compare a.at b.at)
+
 let random_schedule ~prng ~topo ~start ~until ?(protected = []) ?(events = 8)
     ?(mean_outage = 8.) () =
   if until <= start then invalid_arg "Fault.random_schedule: until must exceed start";

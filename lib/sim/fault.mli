@@ -64,3 +64,18 @@ val random_schedule :
     source must survive to measure delivery).  Outage durations average
     [mean_outage] (default 8 s) and are clamped so everything heals
     before [until]. *)
+
+val targeted_schedule :
+  prng:Pim_util.Prng.t ->
+  targets:Pim_graph.Topology.node list ->
+  start:float ->
+  until:float ->
+  ?events:int ->
+  ?mean_outage:float ->
+  unit ->
+  event list
+(** Faults aimed at [targets] (the chaos harness passes the elected RPs):
+    alternating crash/restart and brief single-node isolation, cycling
+    through the list, one fault per successive time window so partitions
+    never overlap.  [events] defaults to 4; durations and healing behave
+    as in {!random_schedule}. *)

@@ -61,7 +61,15 @@ let test_rp_set () =
   Alcotest.(check int) "original untouched" 1 (List.length (Rp_set.groups s));
   Alcotest.(check bool) "empty set" false (Rp_set.is_sparse Rp_set.empty g1);
   let single = Rp_set.single g1 (Addr.router 9) in
-  Alcotest.(check int) "single" 1 (List.length (Rp_set.rps single g1))
+  Alcotest.(check int) "single" 1 (List.length (Rp_set.rps single g1));
+  (* groups come back in ascending group order regardless of insertion
+     order — seeded runs iterate over it, so the order is load-bearing. *)
+  let g3 = Group.of_index 3 in
+  let shuffled = Rp_set.of_list [ (g3, [ Addr.router 3 ]); (g1, [ Addr.router 1 ]) ] in
+  let shuffled = Rp_set.add shuffled g2 [ Addr.router 2 ] in
+  let order = Rp_set.groups shuffled in
+  Alcotest.(check bool) "groups ascending" true
+    (List.for_all2 Group.equal order (List.sort Group.compare order))
 
 (* Message *)
 

@@ -87,6 +87,12 @@ let sample_events =
     Event.Pkt_send { src = "10.128.21.1"; group = "225.0.0.1"; iface = 1 };
     Event.Pkt_deliver { src = "10.128.21.1"; group = "225.0.0.1"; iface = -1 };
     Event.Pkt_drop { src = "10.128.21.1"; group = "225.0.0.1"; iface = 2; reason = "spt-iif" };
+    Event.Candidate_rp { rp = "10.0.0.4"; priority = 16; groups = 3 };
+    Event.Bsr_elected { bsr = "10.0.0.2"; priority = 2 };
+    Event.Rp_mapping { group = "225.0.0.1"; rp = Some "10.0.0.4" };
+    Event.Rp_mapping { group = "225.0.0.1"; rp = None };
+    Event.Rp_failover { group = "225.0.0.1"; from_rp = Some "10.0.0.4"; to_rp = "10.0.0.2" };
+    Event.Rp_failover { group = "225.0.0.1"; from_rp = None; to_rp = "10.0.0.2" };
   ]
 
 let test_event_roundtrip () =
@@ -116,7 +122,10 @@ let test_event_of_json_rejects () =
   in
   bad {|{"type":"warp-drive"}|};
   bad {|{"type":"join","iface":2}|};
-  (* missing route *)
+  bad {|{"type":"rp-failover","group":"225.0.0.1"}|};
+  (* missing to_rp *)
+  bad {|{"type":"bsr-elected","bsr":"10.0.0.2"}|};
+  (* missing route / priority *)
   bad {|{"iface":2}|};
   bad {|[1,2,3]|}
 
