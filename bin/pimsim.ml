@@ -224,6 +224,27 @@ let loss_cmd =
     (Cmd.info "loss" ~doc:"E8: robustness to control-message loss (footnote 4).")
     Term.(const run $ seed_arg)
 
+(* A single protocol name, canonicalized through Stack.of_string so typos
+   become Cmdliner usage errors instead of silently filtering to nothing. *)
+let protocol_conv ~allow_dvmrp =
+  let parse s =
+    match Pim_exp.Stack.of_string s with
+    | Some Pim_exp.Stack.Dvmrp when not allow_dvmrp ->
+      Error
+        (`Msg
+           "chaos compares PIM-DM on the dense side, not DVMRP (expected PIM-SM, PIM-DM, CBT \
+            or MOSPF)")
+    | Some p -> Ok p
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown protocol %S (expected %s)" s
+              (if allow_dvmrp then "PIM-SM, PIM-DM, DVMRP, CBT or MOSPF"
+               else "PIM-SM, PIM-DM, CBT or MOSPF")))
+  in
+  Arg.conv ~docv:"PROTOCOL"
+    (parse, fun ppf p -> Format.pp_print_string ppf (Pim_exp.Stack.to_string p))
+
 let chaos_cmd =
   let run seed nodes receivers events topology fault rp_strategy protocols json =
     let topology_name = topology in
@@ -251,8 +272,8 @@ let chaos_cmd =
     end;
     let protocols =
       match protocols with
-      | "" -> None
-      | s -> Some (String.split_on_char ',' s |> List.map String.trim)
+      | [] -> None
+      | ps -> Some (List.map Pim_exp.Stack.to_string ps)
     in
     let row_to_json (r : Pim_exp.Chaos.row) =
       Pim_util.Json.(
@@ -345,10 +366,11 @@ let chaos_cmd =
   let protocols =
     Arg.(
       value
-      & opt string ""
+      & opt (list (protocol_conv ~allow_dvmrp:false)) []
       & info [ "protocols" ]
           ~doc:
-            "Comma-separated protocol subset (PIM-SM, PIM-DM, CBT, MOSPF); default all four.")
+            "Comma-separated protocol subset (PIM-SM, PIM-DM, CBT, MOSPF); default all four.  \
+             Unknown names are rejected.")
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -650,6 +672,189 @@ let trace_cmd =
           EXPERIMENTS.md).")
     [ trace_record_cmd; trace_show_cmd; trace_diff_cmd ]
 
+(* --- pimsim scn: run / check declarative operational scenarios -------- *)
+
+let load_program_or_die path =
+  match Pim_exp.Dsl.parse_file path with
+  | Ok p -> p
+  | Error msg ->
+    Format.eprintf "pimsim scn: %s: %s@." path msg;
+    exit 2
+
+let protocol_override_arg =
+  Arg.(
+    value
+    & opt (some (protocol_conv ~allow_dvmrp:true)) None
+    & info [ "protocol" ] ~doc:"Override the scenario's $(b,protocol) directive.")
+
+(* The .scn directive spells it on/off; accept that on the flag too. *)
+let on_off_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "on" | "true" -> Ok true
+    | "off" | "false" -> Ok false
+    | _ -> Error (`Msg (Printf.sprintf "expected on, off, true or false, got %S" s))
+  in
+  Arg.conv (parse, fun ppf b -> Format.pp_print_string ppf (if b then "on" else "off"))
+
+let fallback_override_arg =
+  Arg.(
+    value
+    & opt (some on_off_conv) None
+    & info [ "switchover-fallback" ] ~docv:"on|off"
+        ~doc:"Override the scenario's $(b,config switchover-fallback) directive.")
+
+let scn_run_cmd =
+  let run path protocol fallback trace_out capture metrics =
+    let program = load_program_or_die path in
+    match
+      Pim_exp.Dsl.run ?protocol ?switchover_fallback:fallback ?trace_file:trace_out
+        ?capture_file:capture ?metrics_file:metrics program
+    with
+    | outcome ->
+      Format.printf "%s: %a" program.Pim_exp.Dsl.name Pim_exp.Dsl.pp_outcome outcome;
+      if not outcome.Pim_exp.Dsl.ok then exit 1
+    | exception Invalid_argument msg ->
+      Format.eprintf "pimsim scn: %s: %s@." path msg;
+      exit 2
+  in
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE.scn") in
+  let trace_out =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write the typed event trace as JSONL.")
+  in
+  let capture =
+    Arg.(value & opt (some string) None & info [ "capture" ] ~docv:"FILE"
+         ~doc:"Write the packet capture as JSONL.")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Write the metrics registry as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Execute a $(b,.scn) scenario under the invariant oracle.  Exits 0 when every \
+          assertion holds, 1 on a violation, 2 on a parse or semantic error.")
+    Term.(
+      const run $ path $ protocol_override_arg $ fallback_override_arg $ trace_out $ capture
+      $ metrics)
+
+let scn_check_cmd =
+  let run paths =
+    List.iter
+      (fun path ->
+        let program = load_program_or_die path in
+        match Pim_exp.Dsl.context program with
+        | ctx ->
+          Format.printf "%s: ok (%s, %s, %d nodes, %d steps)@." path program.Pim_exp.Dsl.name
+            (match program.Pim_exp.Dsl.protocol with
+            | Some p -> Pim_exp.Stack.to_string p
+            | None -> "protocol unset")
+            ctx.Pim_exp.Dsl.nodes
+            (List.length program.Pim_exp.Dsl.steps)
+        | exception Invalid_argument msg ->
+          Format.eprintf "pimsim scn: %s: %s@." path msg;
+          exit 2)
+      paths
+  in
+  let paths = Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE.scn") in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Parse scenarios and resolve their topology/roles without running them.  Exits 2 on \
+          the first syntax or semantic error.")
+    Term.(const run $ paths)
+
+let scn_cmd =
+  Cmd.group
+    (Cmd.info "scn"
+       ~doc:
+         "Run and validate declarative operational scenarios (.scn files; grammar in \
+          EXPERIMENTS.md).")
+    [ scn_run_cmd; scn_check_cmd ]
+
+let explore_cmd =
+  let run base_file depth budget probes protocols fallback out =
+    let base = load_program_or_die base_file in
+    let protocols =
+      match protocols with
+      | [] -> (
+        match base.Pim_exp.Dsl.protocol with
+        | Some p -> [ p ]
+        | None -> Pim_exp.Stack.all)
+      | ps -> ps
+    in
+    let found_any = ref false in
+    List.iter
+      (fun protocol ->
+        let report =
+          try
+            Pim_exp.Explore.run ~base ~protocol ~depth ~budget ~probes
+              ?switchover_fallback:fallback
+              ~log:(fun m -> Format.eprintf "# %s@." m)
+              ()
+          with Invalid_argument msg ->
+            Format.eprintf "pimsim explore: %s: %s@." base_file msg;
+            exit 2
+        in
+        Format.printf "%a" Pim_exp.Explore.pp_report report;
+        Option.iter
+          (fun (f : Pim_exp.Explore.found) ->
+            found_any := true;
+            let shrunk = f.Pim_exp.Explore.shrunk in
+            if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+            let stem = Filename.concat out shrunk.Pim_exp.Dsl.name in
+            let scn = stem ^ ".scn" in
+            Out_channel.with_open_text scn (fun oc ->
+                Out_channel.output_string oc (Pim_exp.Dsl.to_string shrunk));
+            (* Replay the shrunk counterexample under full capture. *)
+            ignore
+              (Pim_exp.Dsl.run ~trace_file:(stem ^ ".trace.jsonl")
+                 ~capture_file:(stem ^ ".capture.jsonl") shrunk);
+            Format.printf "wrote %s (replayed: %s.trace.jsonl, %s.capture.jsonl)@." scn stem
+              stem)
+          report.Pim_exp.Explore.found)
+      protocols;
+    if !found_any then exit 1
+  in
+  let base_file =
+    Arg.(required & opt (some string) None & info [ "base" ] ~docv:"FILE.scn"
+         ~doc:"Base scenario: topology, roles and initial joins to perturb.")
+  in
+  let depth =
+    Arg.(value & opt int 3 & info [ "depth" ] ~doc:"Maximum perturbation-sequence length.")
+  in
+  let budget =
+    Arg.(value & opt int 500 & info [ "budget" ] ~doc:"Maximum candidate scenarios to run.")
+  in
+  let probes =
+    Arg.(value & opt int 6 & info [ "probes" ] ~doc:"Probe packets per candidate's verdict window.")
+  in
+  let protocols =
+    Arg.(
+      value
+      & opt (list (protocol_conv ~allow_dvmrp:true)) []
+      & info [ "protocols" ]
+          ~doc:
+            "Comma-separated protocols to explore; default the base scenario's directive, \
+             else all five.")
+  in
+  let out =
+    Arg.(value & opt string "." & info [ "out" ] ~docv:"DIR"
+         ~doc:"Directory for shrunk counterexamples and their replay traces.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Systematic fault-space search: enumerate DSL perturbation sequences over the base \
+          scenario, dedup converged states by digest, and on an invariant violation emit the \
+          delta-debugged $(b,.scn) counterexample plus a deterministic replay capture.  Exits \
+          1 when a violation is found, 0 when the bounded space is clean.")
+    Term.(
+      const run $ base_file $ depth $ budget $ probes $ protocols $ fallback_override_arg
+      $ out)
+
 let lint_cmd =
   let run baseline update paths =
     let paths = if paths = [] then [ "lib" ] else paths in
@@ -691,4 +896,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ fig2a_cmd; fig2b_cmd; fig1_cmd; overhead_cmd; failover_cmd; ablation_cmd; refresh_cmd; groups_cmd; aggregation_cmd; churn_cmd; loss_cmd; chaos_cmd; rp_cmd; trace_cmd; all_cmd; lint_cmd ]))
+          [ fig2a_cmd; fig2b_cmd; fig1_cmd; overhead_cmd; failover_cmd; ablation_cmd; refresh_cmd; groups_cmd; aggregation_cmd; churn_cmd; loss_cmd; chaos_cmd; rp_cmd; trace_cmd; scn_cmd; explore_cmd; all_cmd; lint_cmd ]))

@@ -78,7 +78,8 @@ let fault_onsets schedule =
       | _ -> None)
     schedule
 
-let run_protocol ~topo ~schedule ~fault_end ~members ~delay_bound ~(build : Net.t -> setup) =
+let run_protocol ~topo ~schedule ~fault_end ~members ~source ~delay_bound
+    ~(build : Net.t -> setup) =
   let eng = Engine.create () in
   let net = Net.create eng topo in
   let metrics = Metrics.attach net in
@@ -172,6 +173,7 @@ let run_protocol ~topo ~schedule ~fault_end ~members ~delay_bound ~(build : Net.
                         probe m delay_bound))
                members)
            burst_seqs;
+         Oracle.check_blackhole oracle ~source ~members ~probes:burst_seqs;
          List.iter s.leave members));
   let t_end = checkpoint_end +. s.drain_wait in
   Engine.run ~until:t_end eng;
@@ -232,90 +234,13 @@ let run_protocol ~topo ~schedule ~fault_end ~members ~delay_bound ~(build : Net.
 
 (* {1 Protocol adapters} *)
 
-let entry_target (e : Fwd.entry) =
-  match e.Fwd.source with Some s when not e.Fwd.rp_bit -> Some s | _ -> e.Fwd.rp
-
+(* The PIM structural invariants now live in {!Stack} (shared with the
+   scenario DSL); this is the chaos-flavored phrasing over a static
+   deployment. *)
 let pim_state_checks ~net ~static ~deployment:d =
-  let topo = Net.topo net in
-  let eng = Net.engine net in
-  let n = Topology.n_nodes topo in
-  (* Every entry's incoming interface must equal the RPF interface toward
-     the entry's target (source for SPT entries, RP for shared-tree ones)
-     per the same unicast tables PIM consumes (section 3.8). *)
-  let iif_check () =
-    let problems = ref [] in
-    for u = 0 to n - 1 do
-      if Net.node_up net u then begin
-        let rib = Pim_routing.Static.rib static u in
-        List.iter
-          (fun (e : Fwd.entry) ->
-            match entry_target e with
-            | None -> ()
-            | Some target ->
-              let expected = Pim_routing.Rib.rpf_iface rib target in
-              if e.Fwd.iif <> expected then
-                problems :=
-                  Format.asprintf "node %d %a: iif disagrees with RPF toward %s (want %s)"
-                    u Fwd.pp_entry e (Addr.to_string target)
-                    (match expected with None -> "-" | Some i -> string_of_int i)
-                  :: !problems)
-          (Fwd.entries (Pim_core.Router.fib (Pim_core.Deployment.router d u)))
-      end
-    done;
-    !problems
-  in
-  (* Every live, non-local oif must have a live downstream neighbor on
-     that link holding matching state whose iif points back over it —
-     otherwise the oif forwards into a void (stale state the soft-state
-     timers should have cleaned up). *)
-  let stale_oif_check () =
-    let problems = ref [] in
-    let nw = Engine.now eng in
-    for u = 0 to n - 1 do
-      if Net.node_up net u then
-        List.iter
-          (fun (e : Fwd.entry) ->
-            if Fwd.is_star e || not e.Fwd.rp_bit then
-              List.iter
-                (fun (o : Fwd.oif) ->
-                  if (not o.Fwd.local) && o.Fwd.iface >= 0 && o.Fwd.expires > nw then begin
-                    let link = Topology.link_of_iface topo u o.Fwd.iface in
-                    if Net.link_up net link.Topology.id then begin
-                      let fed =
-                        Topology.others_on_link topo link.Topology.id u
-                        |> List.exists (fun v ->
-                               Net.node_up net v
-                               &&
-                               let viface = Topology.iface_of_link topo v link.Topology.id in
-                               let vfib =
-                                 Pim_core.Router.fib (Pim_core.Deployment.router d v)
-                               in
-                               let candidates =
-                                 match e.Fwd.source with
-                                 | None -> [ Fwd.find_star vfib e.Fwd.group ]
-                                 | Some s ->
-                                   [ Fwd.find_sg vfib e.Fwd.group s; Fwd.find_star vfib e.Fwd.group ]
-                               in
-                               List.exists
-                                 (function
-                                   | Some (de : Fwd.entry) -> de.Fwd.iif = Some viface
-                                   | None -> false)
-                                 candidates)
-                      in
-                      if not fed then
-                        problems :=
-                          Format.asprintf
-                            "node %d %a: oif %d feeds no downstream state on link %d" u
-                            Fwd.pp_entry e o.Fwd.iface link.Topology.id
-                          :: !problems
-                    end
-                  end)
-                e.Fwd.oifs)
-          (Fwd.entries (Pim_core.Router.fib (Pim_core.Deployment.router d u)))
-    done;
-    !problems
-  in
-  [ ("iif-consistency", iif_check); ("stale-oif", stale_oif_check) ]
+  Stack.pim_state_checks ~net
+    ~rib:(Pim_routing.Static.rib static)
+    ~fib:(fun u -> Pim_core.Router.fib (Pim_core.Deployment.router d u))
 
 let pim_setup ~rp_mode ~source net =
   let config = Pim_core.Config.fast in
@@ -595,16 +520,25 @@ let run ?(nodes = 30) ?(degree = 4.) ?(receivers = 5) ?(events = 8) ?(fault_wind
       Fault.targeted_schedule ~prng:(Prng.split prng) ~targets:rp_nodes ~start:fault_start
         ~until:fault_end ~events ~mean_outage ()
   in
-  let go build = run_protocol ~topo ~schedule ~fault_end ~members ~delay_bound ~build in
+  let go build = run_protocol ~topo ~schedule ~fault_end ~members ~source ~delay_bound ~build in
   (* Canonical report order: the fixed protocol list below — the report
      row order is part of the byte-identical reproducibility contract.
      [protocols] selects a subset (large-topology scale runs exercise
      one protocol at a time) without disturbing that order.  RP-crash
      runs default to PIM-SM alone: only it consumes the RP placement
      under test (CBT keeps its legacy member-homed core). *)
+  (* A typo in the filter must fail loudly, not silently run nothing. *)
+  let known = [ "PIM-SM"; "PIM-DM"; "CBT"; "MOSPF" ] in
+  Option.iter
+    (List.iter (fun p ->
+         if not (List.exists (String.equal p) known) then
+           invalid_arg
+             (Printf.sprintf "Chaos.run: unknown protocol %S (expected one of %s)" p
+                (String.concat ", " known))))
+    protocols;
   let wanted name =
     match protocols with
-    | Some ps -> List.mem name ps
+    | Some ps -> List.exists (String.equal name) ps
     | None -> ( match fault with `Random -> true | `Rp_crash -> String.equal name "PIM-SM")
   in
   let rows =

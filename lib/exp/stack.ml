@@ -1,0 +1,329 @@
+module Engine = Pim_sim.Engine
+module Net = Pim_sim.Net
+module Trace = Pim_sim.Trace
+module Group = Pim_net.Group
+module Addr = Pim_net.Addr
+module Topology = Pim_graph.Topology
+module Fwd = Pim_mcast.Fwd
+
+type protocol = Pim_sm | Pim_dm | Dvmrp | Cbt | Mospf
+
+let all = [ Pim_sm; Pim_dm; Dvmrp; Cbt; Mospf ]
+
+let to_string = function
+  | Pim_sm -> "PIM-SM"
+  | Pim_dm -> "PIM-DM"
+  | Dvmrp -> "DVMRP"
+  | Cbt -> "CBT"
+  | Mospf -> "MOSPF"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "pim-sm" | "pimsm" | "sm" -> Some Pim_sm
+  | "pim-dm" | "pimdm" | "dm" -> Some Pim_dm
+  | "dvmrp" -> Some Dvmrp
+  | "cbt" -> Some Cbt
+  | "mospf" -> Some Mospf
+  | _ -> None
+
+type t = {
+  protocol : protocol;
+  name : string;
+  join : Topology.node -> unit;
+  leave : Topology.node -> unit;
+  on_data : Topology.node -> (Pim_net.Packet.t -> unit) -> unit;
+  send_from : Topology.node -> unit;
+  entries : unit -> int;
+  restart : Topology.node -> unit;
+  state_checks : (string * (unit -> string list)) list;
+  mroute : Topology.node -> string list;
+  max_copies : int;
+  residual_floor : int;
+}
+
+(* Settle bounds in virtual seconds under each protocol's fast config:
+   how long after a perturbation (or a membership change) the deployment
+   needs before a probe window is a fair test.  Mirrors the chaos
+   harness's recover_wait reasoning; constants so the explorer can plan
+   without instantiating a deployment. *)
+let settle_hint ?(rp_election = false) ?(hops = 8) protocol =
+  match protocol with
+  | Pim_sm ->
+    let c = Pim_core.Config.fast in
+    (5. *. c.Pim_core.Config.jp_period)
+    +.
+    if rp_election then
+      Pim_core.Bsr.failover_budget Pim_core.Bsr.fast +. c.Pim_core.Config.rp_timeout
+    else 0.
+  | Pim_dm | Dvmrp ->
+    let c = Pim_dense.Router.fast_config in
+    c.Pim_dense.Router.prune_timeout +. c.Pim_dense.Router.entry_linger +. 5.
+  | Cbt ->
+    (* CBT is explicit-ack hard state: after a core restart the orphaned
+       subtree only discovers the severed parent hop by hop, each level
+       waiting out its own parent_timeout before flushing (the deliberate
+       slow-heal contrast with PIM's soft state, paper footnote 4).  The
+       bound therefore scales with tree depth: [hops] levels of teardown
+       plus one rejoin/echo cycle. *)
+    let c = Pim_cbt.Router.fast_config in
+    (float_of_int hops *. c.Pim_cbt.Router.parent_timeout)
+    +. c.Pim_cbt.Router.rejoin_delay
+    +. (3. *. c.Pim_cbt.Router.echo_interval)
+  | Mospf -> 15.
+
+(* {1 Shared state checks} *)
+
+let entry_target (e : Fwd.entry) =
+  match e.Fwd.source with Some s when not e.Fwd.rp_bit -> Some s | _ -> e.Fwd.rp
+
+(* PIM structural invariants phrased over any deployment exposing per-node
+   FIBs: iif agrees with the RPF interface toward the entry's target, and
+   every live non-local oif feeds matching downstream state.  Used by both
+   the chaos harness and the scenario DSL. *)
+let pim_state_checks ~net ~rib ~fib =
+  let topo = Net.topo net in
+  let eng = Net.engine net in
+  let n = Topology.n_nodes topo in
+  let iif_check () =
+    let problems = ref [] in
+    for u = 0 to n - 1 do
+      if Net.node_up net u then
+        List.iter
+          (fun (e : Fwd.entry) ->
+            match entry_target e with
+            | None -> ()
+            | Some target ->
+              let expected = Pim_routing.Rib.rpf_iface (rib u) target in
+              if e.Fwd.iif <> expected then
+                problems :=
+                  Format.asprintf "node %d %a: iif disagrees with RPF toward %s (want %s)" u
+                    Fwd.pp_entry e (Addr.to_string target)
+                    (match expected with None -> "-" | Some i -> string_of_int i)
+                  :: !problems)
+          (Fwd.entries (fib u))
+    done;
+    !problems
+  in
+  let stale_oif_check () =
+    let problems = ref [] in
+    let nw = Engine.now eng in
+    for u = 0 to n - 1 do
+      if Net.node_up net u then
+        List.iter
+          (fun (e : Fwd.entry) ->
+            if Fwd.is_star e || not e.Fwd.rp_bit then
+              List.iter
+                (fun (o : Fwd.oif) ->
+                  if (not o.Fwd.local) && o.Fwd.iface >= 0 && o.Fwd.expires > nw then begin
+                    let link = Topology.link_of_iface topo u o.Fwd.iface in
+                    if Net.link_up net link.Topology.id then begin
+                      let fed =
+                        Topology.others_on_link topo link.Topology.id u
+                        |> List.exists (fun v ->
+                               Net.node_up net v
+                               &&
+                               let viface = Topology.iface_of_link topo v link.Topology.id in
+                               let vfib = fib v in
+                               let candidates =
+                                 match e.Fwd.source with
+                                 | None -> [ Fwd.find_star vfib e.Fwd.group ]
+                                 | Some s ->
+                                   [ Fwd.find_sg vfib e.Fwd.group s; Fwd.find_star vfib e.Fwd.group ]
+                               in
+                               List.exists
+                                 (function
+                                   | Some (de : Fwd.entry) -> de.Fwd.iif = Some viface
+                                   | None -> false)
+                                 candidates)
+                      in
+                      if not fed then
+                        problems :=
+                          Format.asprintf "node %d %a: oif %d feeds no downstream state on link %d"
+                            u Fwd.pp_entry e o.Fwd.iface link.Topology.id
+                          :: !problems
+                    end
+                  end)
+                e.Fwd.oifs)
+          (Fwd.entries (fib u))
+    done;
+    !problems
+  in
+  [ ("iif-consistency", iif_check); ("stale-oif", stale_oif_check) ]
+
+(* {1 Per-protocol constructors} *)
+
+let fwd_mroute fib u = List.map (Format.asprintf "%a" Fwd.pp_entry) (Fwd.entries (fib u))
+
+let pim_sm_stack ?(rp_election = false) ?(switchover_fallback = true) ?trace ~group ~rp net =
+  if rp = [] then invalid_arg "Stack.create: PIM-SM needs at least one RP";
+  let config =
+    { Pim_core.Config.fast with Pim_core.Config.switchover_fallback }
+  in
+  let static = Pim_routing.Static.create net in
+  let ribs = Pim_routing.Static.rib static in
+  let bsr, rp_set =
+    if rp_election then begin
+      (* The RP list becomes C-RP roles (priority = list position) and the
+         first two non-RP routers become C-BSRs, so the scenario's RP set
+         emerges from a live election instead of configuration. *)
+      let n_nodes = Topology.n_nodes (Net.topo net) in
+      let placement = [ (group, List.map Addr.router rp) ] in
+      let cbsrs =
+        List.init n_nodes Fun.id
+        |> List.filter (fun u -> not (List.mem u rp))
+        |> List.filteri (fun i _ -> i < 2)
+        |> List.mapi (fun i u -> (u, 2 - i))
+      in
+      let roles = Pim_core.Placement.roles placement ~n_nodes ~cbsrs in
+      let b = Pim_core.Bsr.deploy ~config:Pim_core.Bsr.fast ~net ~ribs ~roles () in
+      (Some b, Pim_core.Rp_set.empty)
+    end
+    else (None, Pim_core.Rp_set.of_list [ (group, List.map Addr.router rp) ])
+  in
+  let d = Pim_core.Deployment.create ~config ?bsr ?trace ~net ~ribs ~rp_set () in
+  let router u = Pim_core.Deployment.router d u in
+  let fib u = Pim_core.Router.fib (router u) in
+  {
+    protocol = Pim_sm;
+    name = to_string Pim_sm;
+    join = (fun m -> Pim_core.Router.join_local (router m) group);
+    leave = (fun m -> Pim_core.Router.leave_local (router m) group);
+    on_data = (fun m cb -> Pim_core.Router.on_local_data (router m) cb);
+    send_from = (fun u -> Pim_core.Router.send_local_data (router u) ~group ());
+    entries = (fun () -> Pim_core.Deployment.total_entries d);
+    restart =
+      (fun u ->
+        Pim_core.Router.restart (router u);
+        Option.iter (fun b -> Pim_core.Bsr.restart b u) bsr);
+    state_checks = pim_state_checks ~net ~rib:ribs ~fib;
+    mroute = fwd_mroute fib;
+    max_copies = 1;
+    residual_floor = 0;
+  }
+
+let dense_stack ~mode ?trace ~group net =
+  let config = { Pim_dense.Router.fast_config with mode; graft = true } in
+  let d = Pim_dense.Router.Deployment.create_static ~config ?trace net in
+  let router u = Pim_dense.Router.Deployment.router d u in
+  let protocol = match mode with Pim_dense.Router.Pim_dm -> Pim_dm | Pim_dense.Router.Dvmrp -> Dvmrp in
+  {
+    protocol;
+    name = to_string protocol;
+    join = (fun m -> Pim_dense.Router.join_local (router m) group);
+    leave = (fun m -> Pim_dense.Router.leave_local (router m) group);
+    on_data = (fun m cb -> Pim_dense.Router.on_local_data (router m) cb);
+    send_from = (fun u -> Pim_dense.Router.send_local_data (router u) ~group ());
+    entries = (fun () -> Pim_dense.Router.Deployment.total_entries d);
+    restart = (fun u -> Pim_dense.Router.restart (router u));
+    state_checks = [];
+    mroute = (fun u -> fwd_mroute (fun v -> Pim_dense.Router.fib (router v)) u);
+    (* Broadcast-and-prune legitimately puts one copy per link direction
+       on the wire (the flood, then the re-flood after grow-back). *)
+    max_copies = 2;
+    residual_floor = 0;
+  }
+
+let cbt_stack ?trace ~group ~core net =
+  let config = Pim_cbt.Router.fast_config in
+  let core_of g = if Group.equal g group then Some (Addr.router core) else None in
+  let d = Pim_cbt.Router.Deployment.create_static ~config ?trace net ~core_of in
+  let router u = Pim_cbt.Router.Deployment.router d u in
+  {
+    protocol = Cbt;
+    name = to_string Cbt;
+    join = (fun m -> Pim_cbt.Router.join_local (router m) group);
+    leave = (fun m -> Pim_cbt.Router.leave_local (router m) group);
+    on_data = (fun m cb -> Pim_cbt.Router.on_local_data (router m) cb);
+    send_from = (fun u -> Pim_cbt.Router.send_local_data (router u) ~group ());
+    entries = (fun () -> Pim_cbt.Router.Deployment.total_entries d);
+    restart = (fun u -> Pim_cbt.Router.restart (router u));
+    state_checks = [];
+    mroute =
+      (fun u ->
+        let r = router u in
+        if Pim_cbt.Router.on_tree r group then
+          [
+            Printf.sprintf "%s ifaces={%s}" (Group.to_string group)
+              (Pim_cbt.Router.tree_ifaces r group
+              |> List.sort Int.compare |> List.map string_of_int |> String.concat ",");
+          ]
+        else []);
+    max_copies = 1;
+    (* The core never tears down its own entry. *)
+    residual_floor = 1;
+  }
+
+let mospf_stack ?trace ~group net =
+  let d = Pim_mospf.Router.Deployment.create ?trace ~lsa_refresh:5. net in
+  let router u = Pim_mospf.Router.Deployment.router d u in
+  let n = Topology.n_nodes (Net.topo net) in
+  {
+    protocol = Mospf;
+    name = to_string Mospf;
+    join = (fun m -> Pim_mospf.Router.join_local (router m) group);
+    leave = (fun m -> Pim_mospf.Router.leave_local (router m) group);
+    on_data = (fun m cb -> Pim_mospf.Router.on_local_data (router m) cb);
+    send_from = (fun u -> Pim_mospf.Router.send_local_data (router u) ~group ());
+    entries = (fun () -> Pim_mospf.Router.Deployment.total_membership_entries d);
+    restart = (fun u -> Pim_mospf.Router.restart (router u));
+    state_checks = [];
+    mroute =
+      (fun u ->
+        let known =
+          List.init n Fun.id
+          |> List.filter (fun m -> Pim_mospf.Router.knows_member (router u) m group)
+        in
+        match known with
+        | [] -> []
+        | ms ->
+          [
+            Printf.sprintf "%s members={%s}" (Group.to_string group)
+              (String.concat "," (List.map string_of_int ms));
+          ]);
+    max_copies = 1;
+    residual_floor = 0;
+  }
+
+let create ?(rp = []) ?(rp_election = false) ?(switchover_fallback = true) ?trace ~group ~net
+    protocol =
+  match protocol with
+  | Pim_sm -> pim_sm_stack ~rp_election ~switchover_fallback ?trace ~group ~rp net
+  | Pim_dm -> dense_stack ~mode:Pim_dense.Router.Pim_dm ?trace ~group net
+  | Dvmrp -> dense_stack ~mode:Pim_dense.Router.Dvmrp ?trace ~group net
+  | Cbt -> (
+    match rp with
+    | core :: _ -> cbt_stack ?trace ~group ~core net
+    | [] -> invalid_arg "Stack.create: CBT needs an rp/core node")
+  | Mospf -> mospf_stack ?trace ~group net
+
+(* {1 State digest} *)
+
+(* Canonical rendering of the global protocol state: per live node its
+   timer-free mroute lines, plus the live-topology bitmap and member set.
+   Two runs reaching the same digest are (for exploration purposes) in
+   the same state — the dedup key `pimsim explore` prunes on, and the
+   comparison key the future differential-verification work diffs on.
+   Digest.string is MD5 from the stdlib: stable across runs and builds,
+   no new dependency. *)
+let digest t ~net ~members =
+  let topo = Net.topo net in
+  let n = Topology.n_nodes topo in
+  let buf = Buffer.create 1024 in
+  for u = 0 to n - 1 do
+    if Net.node_up net u then begin
+      Buffer.add_string buf (Printf.sprintf "node %d\n" u);
+      List.iter
+        (fun line ->
+          Buffer.add_string buf line;
+          Buffer.add_char buf '\n')
+        (t.mroute u)
+    end
+    else Buffer.add_string buf (Printf.sprintf "node %d down\n" u)
+  done;
+  for lid = 0 to Topology.n_links topo - 1 do
+    Buffer.add_char buf (if Net.link_up net lid then '1' else '0')
+  done;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (String.concat "," (List.map string_of_int (List.sort_uniq Int.compare members)));
+  Digest.to_hex (Digest.string (Buffer.contents buf))

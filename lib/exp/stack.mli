@@ -1,0 +1,85 @@
+(** Uniform adapter over the five protocol deployments.
+
+    The chaos harness, the scenario DSL, and the explorer all need the
+    same small surface — join/leave a member, inject data at a node,
+    restart a router, count state, render per-node mroute state — phrased
+    identically for PIM-SM, PIM-DM, DVMRP, CBT and MOSPF.  [Stack]
+    builds a deployment for one protocol over an existing {!Pim_sim.Net}
+    and exposes exactly that surface, plus the canonical state {!digest}
+    the explorer dedups on. *)
+
+type protocol = Pim_sm | Pim_dm | Dvmrp | Cbt | Mospf
+
+val all : protocol list
+(** Canonical order — report and matrix rows follow it. *)
+
+val to_string : protocol -> string
+(** ["PIM-SM"], ["PIM-DM"], ["DVMRP"], ["CBT"], ["MOSPF"]. *)
+
+val of_string : string -> protocol option
+(** Case-insensitive; accepts the canonical names plus the obvious
+    abbreviations ([sm], [pimdm], ...). *)
+
+type t = {
+  protocol : protocol;
+  name : string;
+  join : Pim_graph.Topology.node -> unit;  (** add a local member at the node *)
+  leave : Pim_graph.Topology.node -> unit;
+  on_data : Pim_graph.Topology.node -> (Pim_net.Packet.t -> unit) -> unit;
+      (** register a local-delivery callback (register once per node —
+          callbacks stack and are never removed) *)
+  send_from : Pim_graph.Topology.node -> unit;  (** inject one data packet *)
+  entries : unit -> int;  (** protocol state entries network-wide *)
+  restart : Pim_graph.Topology.node -> unit;  (** wipe and reboot one router *)
+  state_checks : (string * (unit -> string list)) list;
+      (** named structural invariants (empty list = invariant holds) *)
+  mroute : Pim_graph.Topology.node -> string list;
+      (** canonical, timer-free rendering of the node's multicast routing
+          state, in a stable order — the unit the {!digest} hashes and
+          [assert-mroute] matches against *)
+  max_copies : int;  (** legitimate per-link copies of one quiet-period packet *)
+  residual_floor : int;  (** entries legitimately left after every member leaves *)
+}
+
+val create :
+  ?rp:Pim_graph.Topology.node list ->
+  ?rp_election:bool ->
+  ?switchover_fallback:bool ->
+  ?trace:Pim_sim.Trace.t ->
+  group:Pim_net.Group.t ->
+  net:Pim_sim.Net.t ->
+  protocol ->
+  t
+(** Deploy [protocol] (fast config) on [net] for [group].  [rp] is the
+    ordered RP list for PIM-SM (failover order) and the core for CBT
+    (first element); required for both, ignored by the dense protocols
+    and MOSPF.  [rp_election] (PIM-SM only) turns the RP list into C-RP
+    roles elected through a live BSR instead of static configuration.
+    [switchover_fallback] (PIM-SM only) gates the shared-fallback
+    forwarding fix for the RP-tree/SPT switchover loss — scenarios turn
+    it off to reproduce the historical bug.
+
+    @raise Invalid_argument if a protocol that needs an RP gets none. *)
+
+val settle_hint : ?rp_election:bool -> ?hops:int -> protocol -> float
+(** Conservative virtual-seconds bound for the protocol (fast config) to
+    reconverge after a healed perturbation — the wait the explorer
+    inserts before each probe window.  No deployment needed.  [hops]
+    (default 8) bounds the tree depth the recovery may have to walk; it
+    only matters for CBT, whose hard-state teardown cascades one
+    parent_timeout per level (paper footnote 4). *)
+
+val pim_state_checks :
+  net:Pim_sim.Net.t ->
+  rib:(Pim_graph.Topology.node -> Pim_routing.Rib.t) ->
+  fib:(Pim_graph.Topology.node -> Pim_mcast.Fwd.t) ->
+  (string * (unit -> string list)) list
+(** The PIM structural invariants ([iif-consistency], [stale-oif]) over
+    any deployment exposing per-node RIBs and FIBs — shared between the
+    chaos harness and the stacks built here. *)
+
+val digest : t -> net:Pim_sim.Net.t -> members:Pim_graph.Topology.node list -> string
+(** Hex MD5 of the canonical global state: every node's {!field-mroute}
+    lines (or its down marker), the link-up bitmap, and the sorted member
+    set.  Timer-free by construction, so two interleavings that converge
+    to the same forwarding state collide — the explorer's dedup key. *)

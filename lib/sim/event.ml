@@ -22,6 +22,8 @@ type t =
   | Bsr_elected of { bsr : string; priority : int }
   | Rp_mapping of { group : string; rp : string option }
   | Rp_failover of { group : string; from_rp : string option; to_rp : string }
+  | Fault_injected of { action : string }
+  | Checkpoint_digest of { digest : string }
 
 let tag = function
   | Join _ -> "join"
@@ -40,6 +42,8 @@ let tag = function
   | Bsr_elected _ -> "bsr-elected"
   | Rp_mapping _ -> "rp-mapping-change"
   | Rp_failover _ -> "rp-failover"
+  | Fault_injected _ -> "fault-injected"
+  | Checkpoint_digest _ -> "checkpoint-digest"
 
 let route_equal a b =
   String.equal a.group b.group
@@ -82,9 +86,12 @@ let equal a b =
     String.equal x.group y.group
     && Option.equal String.equal x.from_rp y.from_rp
     && String.equal x.to_rp y.to_rp
+  | Fault_injected x, Fault_injected y -> String.equal x.action y.action
+  | Checkpoint_digest x, Checkpoint_digest y -> String.equal x.digest y.digest
   | ( ( Join _ | Prune _ | Graft _ | Register _ | Register_stop _ | Spt_switch _ | Assert _
       | Entry_install _ | Entry_expire _ | Pkt_send _ | Pkt_deliver _ | Pkt_drop _
-      | Candidate_rp _ | Bsr_elected _ | Rp_mapping _ | Rp_failover _ ),
+      | Candidate_rp _ | Bsr_elected _ | Rp_mapping _ | Rp_failover _ | Fault_injected _
+      | Checkpoint_digest _ ),
       _ ) ->
     false
 
@@ -119,6 +126,8 @@ let pp ppf = function
     Format.fprintf ppf "%s: %s -> %s" e.group
       (match e.from_rp with Some rp -> rp | None -> "(none)")
       e.to_rp
+  | Fault_injected e -> Format.fprintf ppf "%s" e.action
+  | Checkpoint_digest e -> Format.fprintf ppf "%s" e.digest
 
 let route_fields r =
   [
@@ -173,6 +182,8 @@ let to_json ev =
         ("from", match e.from_rp with Some rp -> Json.Str rp | None -> Json.Null);
         ("to", Json.Str e.to_rp);
       ]
+  | Fault_injected e -> typed "fault-injected" [ ("action", Json.Str e.action) ]
+  | Checkpoint_digest e -> typed "checkpoint-digest" [ ("digest", Json.Str e.digest) ]
 
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
 
@@ -257,4 +268,10 @@ let of_json j =
     let* from_rp = opt_str_field j "from" in
     let* to_rp = str_field j "to" in
     Ok (Rp_failover { group; from_rp; to_rp })
+  | "fault-injected" ->
+    let* action = str_field j "action" in
+    Ok (Fault_injected { action })
+  | "checkpoint-digest" ->
+    let* digest = str_field j "digest" in
+    Ok (Checkpoint_digest { digest })
   | other -> Error (Printf.sprintf "unknown event type %S" other)

@@ -57,6 +57,15 @@ type t =
   | Rp_failover of { group : string; from_rp : string option; to_rp : string }
       (** Shared-tree state re-targeted from a failed or withdrawn RP to an
           alternate (section 3.9). *)
+  | Fault_injected of { action : string }
+      (** The harness perturbed the network; [action] is the rendered
+          fault (e.g. ["link 3 down"]).  Emitted by the scenario DSL and
+          the explorer so a trace interleaves protocol reactions with the
+          faults that caused them. *)
+  | Checkpoint_digest of { digest : string }
+      (** Hex digest of the canonical global mroute/forwarding state at a
+          scenario checkpoint — the state-equivalence key the explorer
+          dedups on (see ARCHITECTURE.md). *)
 
 val tag : t -> string
 (** Short event-class keyword, identical to the tag the string trace uses

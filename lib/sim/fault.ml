@@ -10,6 +10,9 @@ type action =
   | Heal
   | Loss_burst of float * float
   | Jitter_burst of float * float
+  | Drop_next of Topology.link_id
+  | Duplicate_next of Topology.link_id
+  | Delay_next of Topology.link_id * float
 
 type event = { at : float; action : action }
 
@@ -23,6 +26,9 @@ let pp_action ppf = function
   | Heal -> Format.fprintf ppf "heal partition"
   | Loss_burst (rate, d) -> Format.fprintf ppf "%.0f%% loss for %.1fs" (100. *. rate) d
   | Jitter_burst (amp, d) -> Format.fprintf ppf "jitter %.1fs for %.1fs" amp d
+  | Drop_next lid -> Format.fprintf ppf "drop next frame on link %d" lid
+  | Duplicate_next lid -> Format.fprintf ppf "duplicate next frame on link %d" lid
+  | Delay_next (lid, d) -> Format.fprintf ppf "delay next frame on link %d by %.1fs" lid d
 
 let pp_event ppf e = Format.fprintf ppf "t=%.1f %a" e.at pp_action e.action
 
@@ -101,6 +107,9 @@ let apply t action =
              notef t "jitter burst over";
              Net.set_jitter net t.base_jitter
            end))
+  | Drop_next lid -> Net.tamper_next net lid `Drop
+  | Duplicate_next lid -> Net.tamper_next net lid `Duplicate
+  | Delay_next (lid, d) -> Net.tamper_next net lid (`Delay d)
 
 let install ?(restart = fun _ -> ()) net events =
   let t =

@@ -27,6 +27,13 @@ type action =
   | Heal  (** restore all links cut by partitions so far *)
   | Loss_burst of float * float  (** loss rate applied for the duration *)
   | Jitter_burst of float * float  (** delay-jitter amplitude applied for the duration *)
+  | Drop_next of Pim_graph.Topology.link_id
+      (** one-shot: discard the next frame transmitted on the link *)
+  | Duplicate_next of Pim_graph.Topology.link_id
+      (** one-shot: deliver the next frame on the link twice *)
+  | Delay_next of Pim_graph.Topology.link_id * float
+      (** one-shot: hold the next frame back by the extra delay, letting
+          later frames overtake it (a single targeted reordering) *)
 
 type event = { at : float;  (** absolute virtual time *) action : action }
 
@@ -41,6 +48,12 @@ val install : ?restart:(Pim_graph.Topology.node -> unit) -> Net.t -> event list 
     past).  [restart] is invoked when a crashed node comes back up —
     wire it to the deployment's router-restart so the node reboots with
     wiped state rather than resuming with stale state. *)
+
+val apply : t -> action -> unit
+(** Apply one action immediately (at the engine's current time), with the
+    same bookkeeping as a scheduled event — partition links are remembered
+    for [Heal], restorations are logged.  The scenario DSL drives faults
+    through this instead of a precomputed schedule. *)
 
 val log : t -> (float * string) list
 (** Human-readable record of every applied action and restoration, in

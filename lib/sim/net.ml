@@ -18,6 +18,8 @@ type pending = {
   p_to : int option;
 }
 
+type tamper = [ `Drop | `Duplicate | `Delay of float ]
+
 type t = {
   eng : Engine.t;
   topo : Topology.t;
@@ -36,6 +38,7 @@ type t = {
   counts : int array;
   queues : pending Queue.t array;
   armed : bool array;
+  tampers : tamper Queue.t array;
   mutable offered : int;
   mutable loss_rate : float;
   mutable loss_prng : Pim_util.Prng.t;
@@ -65,6 +68,7 @@ let create eng topo =
     counts = Array.make (Topology.n_links topo) 0;
     queues = Array.init (Topology.n_links topo) (fun _ -> Queue.create ());
     armed = Array.make (Topology.n_links topo) false;
+    tampers = Array.init (Topology.n_links topo) (fun _ -> Queue.create ());
     offered = 0;
     loss_rate = 0.;
     loss_prng = Pim_util.Prng.create 0x10ad;
@@ -196,34 +200,59 @@ let rec flush t lid =
   | Some it -> ignore (Engine.schedule_at t.eng it.deadline (fun () -> flush t lid))
   | None -> t.armed.(lid) <- false
 
+(* Normal propagation path: per-frame timer under jitter, otherwise the
+   batched per-link FIFO (deadlines are monotone, so the queue stays in
+   deadline order). *)
+let propagate t ~from_node ~lid ~to_node pkt =
+  let link = Topology.link t.topo lid in
+  if t.jitter > 0. then begin
+    (* Jitter gives every frame its own deadline: per-frame timer. *)
+    let delay = link.Topology.delay +. Pim_util.Prng.float t.jitter_prng t.jitter in
+    ignore
+      (Engine.schedule t.eng ~after:delay (fun () ->
+           deliver_one t lid ~from_node ~to_node pkt))
+  end
+  else begin
+    let deadline = Engine.now t.eng +. link.Topology.delay in
+    Queue.push { deadline; pkt; p_from = from_node; p_to = to_node } t.queues.(lid);
+    if not t.armed.(lid) then begin
+      t.armed.(lid) <- true;
+      ignore (Engine.schedule_at t.eng deadline (fun () -> flush t lid))
+    end
+  end
+
+let tamper_next t lid action = Queue.push action t.tampers.(lid)
+
 let transmit t ~from_node ~lid ~to_node pkt =
   t.offered <- t.offered + 1;
   Pim_util.Metrics.incr t.m_offered;
   Vec.iter (fun f -> f lid pkt) t.send_subs;
-  if t.loss_rate > 0. && t.loss_filter pkt && Pim_util.Prng.float t.loss_prng 1.0 < t.loss_rate
-  then begin
+  match Queue.take_opt t.tampers.(lid) with
+  | Some `Drop ->
     t.dropped <- t.dropped + 1;
     Pim_util.Metrics.incr t.m_dropped;
     Vec.iter (fun f -> f lid pkt) t.drop_subs
-  end
-  else begin
+  | Some (`Delay extra) ->
+    (* Deliberately bypass the FIFO so later frames can overtake: a
+       one-shot reordering.  Per-frame timer, like the jitter path, to
+       preserve the queue's monotone-deadline invariant. *)
     let link = Topology.link t.topo lid in
-    if t.jitter > 0. then begin
-      (* Jitter gives every frame its own deadline: per-frame timer. *)
-      let delay = link.Topology.delay +. Pim_util.Prng.float t.jitter_prng t.jitter in
-      ignore
-        (Engine.schedule t.eng ~after:delay (fun () ->
-             deliver_one t lid ~from_node ~to_node pkt))
+    ignore
+      (Engine.schedule t.eng ~after:(link.Topology.delay +. extra) (fun () ->
+           deliver_one t lid ~from_node ~to_node pkt))
+  | (Some `Duplicate | None) as tampered ->
+    let duplicate = match tampered with Some `Duplicate -> true | _ -> false in
+    if t.loss_rate > 0. && t.loss_filter pkt
+       && Pim_util.Prng.float t.loss_prng 1.0 < t.loss_rate
+    then begin
+      t.dropped <- t.dropped + 1;
+      Pim_util.Metrics.incr t.m_dropped;
+      Vec.iter (fun f -> f lid pkt) t.drop_subs
     end
     else begin
-      let deadline = Engine.now t.eng +. link.Topology.delay in
-      Queue.push { deadline; pkt; p_from = from_node; p_to = to_node } t.queues.(lid);
-      if not t.armed.(lid) then begin
-        t.armed.(lid) <- true;
-        ignore (Engine.schedule_at t.eng deadline (fun () -> flush t lid))
-      end
+      propagate t ~from_node ~lid ~to_node pkt;
+      if duplicate then propagate t ~from_node ~lid ~to_node pkt
     end
-  end
 
 let send t u ~iface ?to_node pkt =
   if t.node_state.(u) then begin

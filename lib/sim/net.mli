@@ -82,6 +82,19 @@ val set_jitter : t -> ?prng:Pim_util.Prng.t -> float -> unit
 
 val jitter : t -> float
 
+type tamper = [ `Drop | `Duplicate | `Delay of float ]
+(** A one-shot, message-level fault applied to the next transmission on a
+    link: silently discard it, deliver it twice, or hold it back an extra
+    [`Delay d] seconds (a one-shot reordering — later frames overtake the
+    delayed one).  The search layer's action alphabet, in contrast to the
+    probabilistic regimes of {!set_loss_rate} / {!set_jitter}. *)
+
+val tamper_next : t -> Pim_graph.Topology.link_id -> tamper -> unit
+(** Arm a one-shot tamper on a link.  Tampers queue in FIFO order: each
+    subsequent transmission on the link consumes one.  A [`Drop] counts
+    toward {!dropped} and is reported to {!on_drop}; a [`Duplicate] is a
+    single offered transmission delivered twice (two traversals). *)
+
 val on_link_change : t -> (Pim_graph.Topology.link_id -> bool -> unit) -> unit
 (** Subscribe to link up/down transitions (unicast protocols re-converge,
     PIM re-runs its RPF checks — section 3.8). *)

@@ -61,6 +61,10 @@ let reset_probes t =
   Hashtbl.reset t.copies;
   Hashtbl.reset t.received
 
+let checkpoint t ~max_copies =
+  set_max_copies t max_copies;
+  reset_probes t
+
 let note_received t ~node ~probe =
   let tbl =
     match Hashtbl.find_opt t.received probe with
@@ -78,6 +82,51 @@ let received_by t ~probe =
   | Some tbl -> Hashtbl.fold (fun u () acc -> u :: acc) tbl [] |> List.sort Int.compare
 
 let run_check t ~invariant f = List.iter (record t ~invariant) (f ())
+
+(* A member the topology can still reach, that nonetheless received none
+   of a probe window's packets, is behind a blackhole: the routing state
+   silently eats traffic even though a path exists.  Reachability is
+   computed over live links and nodes only — a genuinely partitioned
+   member is not a blackhole. *)
+let check_blackhole t ~source ~members ~probes =
+  if probes <> [] then begin
+    let topo = Net.topo t.net in
+    let n = Topology.n_nodes topo in
+    let reachable = Array.make n false in
+    if Net.node_up t.net source then begin
+      reachable.(source) <- true;
+      let q = Queue.create () in
+      Queue.push source q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        Array.iter
+          (fun (_, lid) ->
+            if Net.link_up t.net lid then
+              List.iter
+                (fun v ->
+                  if Net.node_up t.net v && not reachable.(v) then begin
+                    reachable.(v) <- true;
+                    Queue.push v q
+                  end)
+                (Topology.others_on_link topo lid u))
+          (Topology.ifaces topo u)
+      done
+    end;
+    let got_any m =
+      List.exists
+        (fun p ->
+          match Hashtbl.find_opt t.received p with
+          | Some tbl -> Hashtbl.mem tbl m
+          | None -> false)
+        probes
+    in
+    List.sort_uniq Int.compare members
+    |> List.iter (fun m ->
+           if m <> source && reachable.(m) && not (got_any m) then
+             recordf t ~invariant:"blackhole"
+               "member %d is reachable from source %d but received none of the %d-probe window"
+               m source (List.length probes))
+  end
 
 let violations t = List.rev t.violations
 

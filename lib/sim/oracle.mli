@@ -50,6 +50,12 @@ val reset_probes : t -> unit
     during reconvergence, like SPT-switchover overlap — does not bleed
     into the checked window. *)
 
+val checkpoint : t -> max_copies:int -> unit
+(** Begin a quiet-period measurement epoch in one step: restore the
+    strict duplication bound [max_copies] and {!reset_probes}.  The
+    programmatic form of the chaos harness's checkpoint discipline, used
+    by the scenario DSL before each probe window. *)
+
 val note_received : t -> node:Pim_graph.Topology.node -> probe:int -> unit
 (** Report that [node]'s local member received probe [probe] (wired to
     the routers' local-data callbacks by the experiment). *)
@@ -63,6 +69,16 @@ val record : t -> invariant:string -> string -> unit
 val run_check : t -> invariant:string -> (unit -> string list) -> unit
 (** Run a state check returning one detail string per violation found
     (empty list = invariant holds) and record the results. *)
+
+val check_blackhole :
+  t -> source:Pim_graph.Topology.node -> members:Pim_graph.Topology.node list -> probes:int list -> unit
+(** Record a ["blackhole"] violation for every member that is reachable
+    from [source] in the {e live} topology (BFS over up links and nodes)
+    yet received none of the probe window [probes].  Weaker than
+    per-probe reachability — it fires only when routing state eats an
+    entire convergence window — and exactly the complement of the
+    loop-freedom tap: one invariant catches packets that multiply, this
+    one catches packets that vanish. *)
 
 val violations : t -> violation list
 (** All violations in detection order. *)

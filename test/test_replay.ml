@@ -93,6 +93,8 @@ let sample_events =
     Event.Rp_mapping { group = "225.0.0.1"; rp = None };
     Event.Rp_failover { group = "225.0.0.1"; from_rp = Some "10.0.0.4"; to_rp = "10.0.0.2" };
     Event.Rp_failover { group = "225.0.0.1"; from_rp = None; to_rp = "10.0.0.2" };
+    Event.Fault_injected { action = "fail-link 2 3" };
+    Event.Checkpoint_digest { digest = "1396106222cf640923e9b2a5b58992f2" };
   ]
 
 let test_event_roundtrip () =

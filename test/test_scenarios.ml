@@ -12,6 +12,7 @@ module Fwd = Pim_mcast.Fwd
 module Config = Pim_core.Config
 module Router = Pim_core.Router
 module Deployment = Pim_core.Deployment
+module Scenario = Pim_exp.Scenario
 
 let g = Group.of_index 1
 
@@ -160,6 +161,38 @@ let test_figure5_spt_switch () =
   Alcotest.(check bool) "created before transition completed" true
     (entry_new_a.Trace.time < spt_bit_a.Trace.time)
 
+(* {2 Replay-harness edge cases}
+
+   [Scenario.run] is the substrate under the shrinker and the scenario
+   DSL's [topology derived]; pin its two degenerate receiver sets.  The
+   override replaces the derived member list without re-drawing the RP
+   or the source, so both runs reuse seed 56517's topology. *)
+
+let test_replay_no_members () =
+  let spec =
+    { (Scenario.default_spec ~seed:56517 ~member_count:6) with
+      Scenario.members_override = Some []
+    }
+  in
+  let o = Scenario.run spec in
+  Alcotest.(check (list int)) "no members joined" [] o.Scenario.members;
+  Alcotest.(check (list pass)) "no deliveries to miscount" [] o.Scenario.wrong;
+  (* Register/register-stop traffic alone must not leave state behind. *)
+  Alcotest.(check int) "state drains" 0 o.Scenario.residual_entries;
+  Alcotest.(check bool) "vacuously ok" true o.Scenario.ok
+
+let test_replay_single_member () =
+  let spec =
+    { (Scenario.default_spec ~seed:56517 ~member_count:6) with
+      Scenario.members_override = Some [ 4 ]
+    }
+  in
+  let o = Scenario.run spec in
+  Alcotest.(check (list int)) "one member" [ 4 ] o.Scenario.members;
+  Alcotest.(check int) "rp drawn before the override" 8 o.Scenario.rp;
+  Alcotest.(check int) "source drawn before the override" 21 o.Scenario.source;
+  Alcotest.(check bool) "complete, duplicate-free, drains" true o.Scenario.ok
+
 let () =
   Alcotest.run "scenarios"
     [
@@ -168,5 +201,10 @@ let () =
           Alcotest.test_case "figure 3: rendezvous" `Quick test_figure3_rendezvous;
           Alcotest.test_case "figure 4: receiver join state" `Quick test_figure4_state_table;
           Alcotest.test_case "figure 5: spt switch state" `Quick test_figure5_spt_switch;
+        ] );
+      ( "replay-edges",
+        [
+          Alcotest.test_case "empty member override" `Quick test_replay_no_members;
+          Alcotest.test_case "single member" `Quick test_replay_single_member;
         ] );
     ]
