@@ -285,18 +285,18 @@ type json_result = {
 let measure_subject (name, f) =
   f ();
   (* Calibrate the repetition count for ~0.5 s of measurement. *)
-  let c0 = Unix.gettimeofday () in
+  let c0 = Unix.gettimeofday () in (* pimlint: allow D2 — wall-clock measurement, not randomness *)
   f ();
-  let once = Unix.gettimeofday () -. c0 in
+  let once = Unix.gettimeofday () -. c0 in (* pimlint: allow D2 — wall-clock measurement, not randomness *)
   let runs = max 3 (min 2000 (int_of_float (0.5 /. Float.max once 1e-6))) in
   Gc.full_major ();
   let a0 = Gc.allocated_bytes () in
   let s0 = Gc.quick_stat () in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Unix.gettimeofday () in (* pimlint: allow D2 — wall-clock measurement, not randomness *)
   for _ = 1 to runs do
     f ()
   done;
-  let t1 = Unix.gettimeofday () in
+  let t1 = Unix.gettimeofday () in (* pimlint: allow D2 — wall-clock measurement, not randomness *)
   let s1 = Gc.quick_stat () in
   let a1 = Gc.allocated_bytes () in
   let per x = x /. float_of_int runs in

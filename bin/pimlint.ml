@@ -1,14 +1,22 @@
 (* pimlint: determinism & protocol-hygiene static analyzer for the
-   simulator sources.  See lib/check/RULES.md for the rule catalogue,
-   suppression syntax and the baseline ratchet workflow. *)
+   simulator sources.  Two tiers: the default untyped tier runs on the
+   Parsetree; [--typed] runs the R1/L1-L3/T1 rules on the Typedtree
+   read from dune's [.cmt] output (build first: `dune build @check`).
+   See lib/check/RULES.md for the rule catalogue, suppression syntax
+   and the baseline ratchet workflow. *)
 
-let usage = "pimlint [--baseline FILE] [--update-baseline] [--warn RULE] [--quiet] PATH..."
+let usage =
+  "pimlint [--typed] [--build-root DIR] [--baseline FILE] [--update-baseline] \
+   [--warn RULE] [--json] [--quiet] PATH..."
 
 let () =
   let baseline = ref None in
   let update = ref false in
   let warn = ref [] in
   let quiet = ref false in
+  let typed = ref false in
+  let build_root = ref None in
+  let json = ref false in
   let paths = ref [] in
   let add_warn s =
     match Pim_check.Finding.rule_of_id s with
@@ -17,16 +25,22 @@ let () =
   in
   let spec =
     [
+      ("--typed", Arg.Set typed, " run the typed tier (R1/L1-L3/T1) on .cmt files");
+      ( "--build-root",
+        Arg.String (fun s -> build_root := Some s),
+        "DIR built tree holding the .cmt files (default: _build/default if present)" );
       ("--baseline", Arg.String (fun s -> baseline := Some s), "FILE ratchet file of tolerated legacy findings");
-      ("--update-baseline", Arg.Set update, " rewrite the baseline to cover current findings");
+      ("--update-baseline", Arg.Set update, " rewrite the active tier's baseline rows from current findings");
       ("--warn", Arg.String add_warn, "RULE demote RULE (e.g. H4) to a non-fatal warning");
+      ("--json", Arg.Set json, " emit one pimlint/1 JSON object instead of text");
       ("--quiet", Arg.Set quiet, " only print errors and the final verdict");
       ( "--rules",
         Arg.Unit
           (fun () ->
             List.iter
               (fun r ->
-                Printf.printf "%s  %s\n" (Pim_check.Finding.rule_id r)
+                Printf.printf "%s  [%s]  %s\n" (Pim_check.Finding.rule_id r)
+                  (Pim_check.Finding.tier_id (Pim_check.Finding.tier_of_rule r))
                   (Pim_check.Finding.rule_doc r))
               Pim_check.Finding.all_rules;
             exit 0),
@@ -41,6 +55,9 @@ let () =
       update_baseline = !update;
       warn_rules = !warn;
       quiet = !quiet;
+      tier = (if !typed then Pim_check.Lint.Typed_tier else Pim_check.Lint.Untyped_tier);
+      build_root = !build_root;
+      json = !json;
     }
   in
   exit (Pim_check.Lint.run ~options ~paths Format.std_formatter)

@@ -17,10 +17,10 @@ let json_arg =
 (* Run [f], and when [--json PATH] was given wrap its rows (serialized by
    [row_to_json]) in a timing envelope and write them to PATH. *)
 let with_json_output ~experiment ~json ~params ~row_to_json f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Unix.gettimeofday () in (* pimlint: allow D2 — wall-clock timing envelope, not randomness *)
   let a0 = Gc.allocated_bytes () in
   let rows = f () in
-  let wall_s = Unix.gettimeofday () -. t0 in
+  let wall_s = Unix.gettimeofday () -. t0 in (* pimlint: allow D2 — wall-clock timing envelope, not randomness *)
   let alloc = Gc.allocated_bytes () -. a0 in
   Option.iter
     (fun path ->
@@ -856,7 +856,7 @@ let explore_cmd =
       $ out)
 
 let lint_cmd =
-  let run baseline update paths =
+  let run baseline update typed build_root json paths =
     let paths = if paths = [] then [ "lib" ] else paths in
     let options =
       {
@@ -864,6 +864,9 @@ let lint_cmd =
         update_baseline = update;
         warn_rules = [];
         quiet = false;
+        tier = (if typed then Pim_check.Lint.Typed_tier else Pim_check.Lint.Untyped_tier);
+        build_root;
+        json;
       }
     in
     exit (Pim_check.Lint.run ~options ~paths Format.err_formatter)
@@ -878,15 +881,40 @@ let lint_cmd =
   let update =
     Arg.(
       value & flag
-      & info [ "update-baseline" ] ~doc:"Rewrite the baseline from the current findings.")
+      & info [ "update-baseline" ]
+          ~doc:"Rewrite the active tier's baseline rows from the current findings.")
+  in
+  let typed =
+    Arg.(
+      value & flag
+      & info [ "typed" ]
+          ~doc:
+            "Run the typed analysis tier (R1 domain races, L1-L3 soft-state lifecycle, \
+             T1 typed determinism) on .cmt files instead of the untyped Parsetree \
+             tier.  Build first: $(b,dune build @check).")
+  in
+  let build_root =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "build-root" ] ~docv:"DIR"
+          ~doc:
+            "Built tree holding the .cmt files (default: _build/default when present, \
+             else the current directory).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit one pimlint/1 JSON object instead of text.")
   in
   let paths = Arg.(value & pos_all string [] & info [] ~docv:"PATH") in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Run pimlint, the determinism and protocol-hygiene static analyzer, over OCaml \
-          sources (defaults to lib/).  See lib/check/RULES.md.")
-    Term.(const run $ baseline $ update $ paths)
+          sources (defaults to lib/).  The default tier parses sources; $(b,--typed) \
+          analyzes the Typedtree out of dune's .cmt output.  See lib/check/RULES.md.")
+    Term.(const run $ baseline $ update $ typed $ build_root $ json $ paths)
 
 let () =
   let info =

@@ -232,9 +232,15 @@ let flush t (e : entry) =
     let g = e.group and core = e.core in
     ignore
       (Engine.schedule t.eng ~after:t.cfg.rejoin_delay (fun () ->
-           let e' = ensure t g ~core in
-           e'.local <- true;
-           if (not e'.confirmed) && not e'.join_outstanding then send_join t e'))
+           (* Re-validate on fire: if the group re-attached meanwhile
+              (confirmed or a join already in flight), just restore the
+              local-membership bit instead of re-joining. *)
+           match Hashtbl.find_opt t.entries g with
+           | Some e' when e'.confirmed || e'.join_outstanding -> e'.local <- true
+           | _ ->
+             let e' = ensure t g ~core in
+             e'.local <- true;
+             if (not e'.confirmed) && not e'.join_outstanding then send_join t e'))
   end
 
 let handle_echo_request t ~iface (b : body) =

@@ -3,7 +3,12 @@
    (rule, file) pair reports MORE findings than its baselined count, so
    new violations fail the build while grandfathered ones do not come
    back.  When a file improves, [--update-baseline] shrinks the
-   recorded count; it can never be grown by hand-editing review. *)
+   recorded count; it can never be grown by hand-editing review.
+
+   Lines carry a tier tag ("TIER RULE FILE COUNT") so one baseline file
+   serves both analysis tiers; the tag is derived from the rule and
+   checked on load.  Legacy three-field lines ("RULE FILE COUNT") are
+   still accepted and upgraded on the next save. *)
 
 type key = string * string  (* rule id, path with '/' separators *)
 
@@ -20,6 +25,11 @@ let line_re line =
   | [ rule; path; count ] -> (
     match (Finding.rule_of_id rule, int_of_string_opt count) with
     | Some _, Some n when n > 0 -> Some ((rule, norm_path path), n)
+    | _ -> None)
+  | [ tier; rule; path; count ] -> (
+    match (Finding.tier_of_id tier, Finding.rule_of_id rule, int_of_string_opt count) with
+    | Some t, Some r, Some n when n > 0 && Finding.tier_of_rule r = t ->
+      Some ((rule, norm_path path), n)
     | _ -> None)
   | _ -> None
 
@@ -54,10 +64,32 @@ let counts findings =
     findings;
   tbl
 
+(* [--update-baseline] runs one tier at a time; rows belonging to the
+   other tier must survive the rewrite or updating the untyped baseline
+   would silently un-ratchet the typed one (and vice versa). *)
+let merge_tier ~tier ~existing fresh =
+  let out : t = Hashtbl.create 16 in
+  (* pimlint: allow D1, T1 — rebuilding into a Hashtbl; order-independent *)
+  Hashtbl.iter
+    (fun (rule, file) n ->
+      match Finding.rule_of_id rule with
+      | Some r when Finding.tier_of_rule r <> tier -> Hashtbl.replace out (rule, file) n
+      | _ -> ())
+    existing;
+  (* pimlint: allow D1, T1 — rebuilding into a Hashtbl; order-independent *)
+  Hashtbl.iter (fun k n -> Hashtbl.replace out k n) fresh;
+  out
+
+let tier_of_rule_id rule =
+  match Finding.rule_of_id rule with
+  | Some r -> Finding.tier_id (Finding.tier_of_rule r)
+  | None -> "untyped"
+
 let header =
-  "# pimlint baseline: RULE FILE COUNT per line.  A run fails when a\n\
+  "# pimlint baseline: TIER RULE FILE COUNT per line.  A run fails when a\n\
    # (rule, file) pair exceeds its count here; regenerate with\n\
-   # `pimlint --update-baseline` after legitimate ratchet-downs.\n"
+   # `pimlint [--typed] --update-baseline` after legitimate ratchet-downs\n\
+   # (each tier rewrites only its own rows).\n"
 
 let save t path =
   let rows =
@@ -70,7 +102,10 @@ let save t path =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
       output_string oc header;
-      List.iter (fun (rule, file, n) -> Printf.fprintf oc "%s %s %d\n" rule file n) rows)
+      List.iter
+        (fun (rule, file, n) ->
+          Printf.fprintf oc "%s %s %s %d\n" (tier_of_rule_id rule) rule file n)
+        rows)
 
 (* Split [findings] into (overflow, grandfathered): for each (rule, file)
    the first [allowance] findings (in canonical order) are grandfathered,

@@ -1,5 +1,8 @@
 (** Per-(rule, file) finding-count ratchet.  Legacy findings recorded
-    here are tolerated; anything beyond the recorded count fails. *)
+    here are tolerated; anything beyond the recorded count fails.  Rows
+    are tier-tagged ("TIER RULE FILE COUNT") so one file ratchets both
+    the untyped and the typed analysis tier; legacy three-field rows
+    load as before. *)
 
 type t
 
@@ -10,10 +13,15 @@ val load : string -> t
     @raise Failure on a malformed line. *)
 
 val save : t -> string -> unit
-(** Write counts sorted by (file, rule), with an explanatory header. *)
+(** Write tier-tagged counts sorted by (file, rule), with a header. *)
 
 val counts : Finding.t list -> t
 (** Baseline that exactly covers [findings] (used by [--update-baseline]). *)
+
+val merge_tier : tier:Finding.tier -> existing:t -> t -> t
+(** [merge_tier ~tier ~existing fresh] keeps [existing]'s rows belonging
+    to the {e other} tier and takes [fresh] for [tier]'s rows, so a
+    one-tier [--update-baseline] cannot drop the other tier's ratchet. *)
 
 val allowance : t -> rule:Finding.rule -> file:string -> int
 

@@ -1,0 +1,119 @@
+(* Locate and read the [.cmt] file matching a source [.ml] path.  Dune
+   compiles every module with [-bin-annot], leaving cmts under
+   [<dir>/.<lib>.objs/byte/] (libraries) or [<dir>/.<exe>.eobjs/byte/]
+   (executables) inside the build context.  Rather than indexing the
+   whole build tree (reading every cmt is expensive), we look only in
+   the candidate directory derived from the source path:
+
+     build_root / dirname(source) / ** / <mod>.cmt
+                                         <lib>__<Mod>.cmt
+
+   and verify the match by the cmt's own recorded [cmt_sourcefile]
+   (compared by path suffix, since dune records paths relative to the
+   context root while callers may pass workspace- or cwd-relative
+   paths).  Traversal is sorted, so resolution is deterministic. *)
+
+let norm p = String.map (fun c -> if c = '\\' then '/' else c) p
+
+(* "a/b/lib/core/router.ml" tail-matches "lib/core/router.ml". *)
+let suffix_path ~candidate ~requested =
+  let c = norm candidate and r = norm requested in
+  (* Strip leading "./" and "../" segments from the requested path: a
+     caller in _build/default/test asks for "../lib/...", the cmt
+     records "lib/...". *)
+  let rec strip r =
+    if String.length r >= 2 && String.sub r 0 2 = "./" then
+      strip (String.sub r 2 (String.length r - 2))
+    else if String.length r >= 3 && String.sub r 0 3 = "../" then
+      strip (String.sub r 3 (String.length r - 3))
+    else r
+  in
+  let r = strip r in
+  c = r
+  || (String.length c > String.length r
+     && String.sub c (String.length c - String.length r - 1) (String.length r + 1)
+        = "/" ^ r)
+  || (String.length r > String.length c
+     && String.sub r (String.length r - String.length c - 1) (String.length c + 1)
+        = "/" ^ c)
+
+let module_name_of_source source =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename source))
+
+(* Candidate filter: "router.cmt", "pim_core__Router.cmt" and
+   "dune__exe__Pimsim.cmt" all resolve module "Router"/"Pimsim". *)
+let cmt_matches_module ~modname file =
+  Filename.check_suffix file ".cmt"
+  &&
+  let base = Filename.remove_extension (Filename.basename file) in
+  (* Strip the wrapped-library prefix up to the LAST "__": the module
+     name itself may contain single underscores ("Cmt_load"). *)
+  let tail =
+    let sep = ref None in
+    String.iteri (fun i c -> if c = '_' && i + 1 < String.length base && base.[i + 1] = '_' then sep := Some i) base;
+    match !sep with
+    | Some i when i + 2 < String.length base ->
+      String.sub base (i + 2) (String.length base - i - 2)
+    | _ -> base
+  in
+  String.capitalize_ascii tail = modname
+
+let rec walk acc dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> acc
+  | names ->
+    Array.to_list names
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           let p = Filename.concat dir name in
+           if Sys.is_directory p then if name = ".git" then acc else walk acc p
+           else p :: acc)
+         acc
+
+let default_build_root () =
+  if Sys.file_exists "_build/default" && Sys.is_directory "_build/default" then
+    "_build/default"
+  else "."
+
+exception No_cmt of string * string  (* source, explanation *)
+
+let read_structure ~source cmt_path =
+  match Cmt_format.read_cmt cmt_path with
+  | exception exn ->
+    Error (Printf.sprintf "%s: unreadable cmt (%s)" cmt_path (Printexc.to_string exn))
+  | infos -> (
+    match infos.Cmt_format.cmt_annots with
+    | Cmt_format.Implementation structure -> Ok (infos, structure)
+    | _ -> Error (Printf.sprintf "%s: cmt for %s holds no implementation" cmt_path source))
+
+(* Find and load the typedtree for [source].  [build_root] defaults to
+   [_build/default] when present (invocation from the workspace root)
+   and to [.] otherwise (invocation from inside the build context). *)
+let load ?build_root source =
+  let root = match build_root with Some r -> r | None -> default_build_root () in
+  let dir =
+    let d = Filename.dirname source in
+    if d = "." then root else Filename.concat root d
+  in
+  let modname = module_name_of_source source in
+  let candidates = walk [] dir |> List.filter (cmt_matches_module ~modname) in
+  let rec try_candidates = function
+    | [] ->
+      raise
+        (No_cmt
+           ( source,
+             Printf.sprintf
+               "no matching .cmt under %s — build first (dune emits .cmt via -bin-annot; \
+                try `dune build @check`)"
+               dir ))
+    | c :: rest -> (
+      match read_structure ~source c with
+      | Ok (infos, structure) -> (
+        match infos.Cmt_format.cmt_sourcefile with
+        | Some sf when suffix_path ~candidate:sf ~requested:source -> structure
+        | Some _ -> try_candidates rest
+        | None -> try_candidates rest)
+      | Error _ -> try_candidates rest)
+  in
+  try_candidates (List.sort String.compare candidates)

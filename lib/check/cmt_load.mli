@@ -1,0 +1,15 @@
+(** Locate and read the [.cmt] (Typedtree) file matching a source [.ml]
+    path out of dune's build tree.  Resolution is deterministic (sorted
+    directory walks) and verified against the cmt's recorded source
+    file. *)
+
+exception No_cmt of string * string
+(** (source path, explanation): no usable [.cmt] was found. *)
+
+val default_build_root : unit -> string
+(** [_build/default] when present, else [.] (already inside the build
+    context). *)
+
+val load : ?build_root:string -> string -> Typedtree.structure
+(** Typedtree for the given [.ml] source path.
+    @raise No_cmt when no matching, readable implementation cmt exists. *)

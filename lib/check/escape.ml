@@ -1,0 +1,172 @@
+(* Capture analysis for the R1 domain-race rule, plus the shared
+   type-structure helpers the typed rules use.
+
+   The model is deliberately per-compilation-unit: a closure handed to
+   [Domain.spawn] races on a value iff the value is (a) free in the
+   closure — i.e. also visible to the spawning scope — and (b) of a
+   mutable type, and (c) not wrapped in [Atomic]/[Mutex].  Typed ASTs
+   make (a) exact (idents are uniquely stamped, so shadowing cannot
+   confuse the free-variable computation) and make (b) a matter of the
+   value's inferred type rather than its name. *)
+
+open Typedtree
+
+let norm_name s =
+  (* "Pim_util__Prng.t" (dune-wrapped alias) reads as "Pim_util.Prng.t". *)
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && s.[!i] = '_' && s.[!i + 1] = '_' then begin
+      Buffer.add_char b '.';
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let path_name p = norm_name (Path.name p)
+
+let last2 name =
+  match List.rev (String.split_on_char '.' name) with
+  | last :: prev :: _ -> Some (prev, last)
+  | [ last ] -> Some ("", last)
+  | [] -> None
+
+let has_suffix ~suffix name =
+  name = suffix
+  || (String.length name > String.length suffix
+     && String.sub name (String.length name - String.length suffix - 1)
+          (String.length suffix + 1)
+        = "." ^ suffix)
+
+(* {1 Mutability classification} *)
+
+type verdict = Safe | Unsafe of string
+
+let constr_name ty =
+  match Types.get_desc ty with Types.Tconstr (p, _, _) -> Some (path_name p) | _ -> None
+
+(* The fig2a fan-out pattern — one PRNG stream per trial, split from the
+   parent stream in trial order BEFORE spawning, each domain touching
+   only its own slots — is the codebase's sanctioned way to share
+   randomness across domains, so [Prng.t array] is deliberately safe
+   while a single shared [Prng.t] is not. *)
+let rec classify ?(depth = 0) ty =
+  if depth > 8 then Safe
+  else
+    let recurse t = classify ~depth:(depth + 1) t in
+    match Types.get_desc ty with
+    | Types.Tconstr (p, args, _) -> (
+      let n = path_name p in
+      if n = "ref" || n = "Stdlib.ref" then Unsafe "a ref cell"
+      else if has_suffix ~suffix:"Atomic.t" n then Safe
+      else if has_suffix ~suffix:"Mutex.t" n || has_suffix ~suffix:"Condition.t" n then Safe
+      else if has_suffix ~suffix:"Hashtbl.t" n then Unsafe "a Hashtbl"
+      else if has_suffix ~suffix:"Vec.t" n then Unsafe "a Pim_util.Vec"
+      else if has_suffix ~suffix:"Queue.t" n then Unsafe "a Queue"
+      else if has_suffix ~suffix:"Stack.t" n then Unsafe "a Stack"
+      else if has_suffix ~suffix:"Buffer.t" n then Unsafe "a Buffer"
+      else if n = "bytes" || n = "Stdlib.bytes" then Unsafe "mutable bytes"
+      else if n = "array" || n = "Stdlib.array" then (
+        match args with
+        | [ el ] -> (
+          match constr_name el with
+          | Some en when has_suffix ~suffix:"Prng.t" en -> Safe
+          | _ -> (
+            match recurse el with
+            | Unsafe what -> Unsafe ("an array of " ^ what)
+            | Safe -> Safe))
+        | _ -> Safe)
+      else if has_suffix ~suffix:"Prng.t" n then Unsafe "a mutable PRNG stream"
+      else if
+        (* Known mutable simulator state: sharing a live engine, network
+           or FIB across domains is never slot-disjoint. *)
+        has_suffix ~suffix:"Engine.t" n
+        || has_suffix ~suffix:"Net.t" n
+        || has_suffix ~suffix:"Fwd.t" n
+        || has_suffix ~suffix:"Timer_wheel.t" n
+        || has_suffix ~suffix:"Metrics.t" n
+      then Unsafe ("mutable simulator state (" ^ n ^ ")")
+      else if n = "option" || n = "list" || n = "result" || has_suffix ~suffix:"Either.t" n
+      then
+        List.fold_left
+          (fun acc a -> match acc with Unsafe _ -> acc | Safe -> recurse a)
+          Safe args
+      else Safe)
+    | Types.Ttuple ts ->
+      List.fold_left
+        (fun acc t -> match acc with Unsafe _ -> acc | Safe -> recurse t)
+        Safe ts
+    | _ -> Safe
+
+(* {1 Free variables} *)
+
+type use = { id : Ident.t; ty : Types.type_expr; loc : Location.t }
+
+(* Idents bound anywhere inside [expr] (patterns, for-loop indices,
+   function params); everything used but not bound is free.  Typedtree
+   idents are uniquely stamped, so shadowing is impossible to confuse. *)
+let free_idents expr =
+  let used : (string, use) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  let bound : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let bind id = Hashtbl.replace bound (Ident.unique_name id) () in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      pat =
+        (fun (type k) self (p : k general_pattern) ->
+          (match p.pat_desc with
+          | Tpat_var (id, _) -> bind id
+          | Tpat_alias (_, id, _) -> bind id
+          | _ -> ());
+          Tast_iterator.default_iterator.pat self p);
+      expr =
+        (fun self e ->
+          (match e.exp_desc with
+          | Texp_ident (Path.Pident id, _, _) ->
+            let k = Ident.unique_name id in
+            if not (Hashtbl.mem used k) then begin
+              Hashtbl.replace used k { id; ty = e.exp_type; loc = e.exp_loc };
+              order := k :: !order
+            end
+          | Texp_for (id, _, _, _, _, _) -> bind id
+          | Texp_function { param; _ } -> bind param
+          | _ -> ());
+          Tast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it expr;
+  List.rev !order
+  |> List.filter_map (fun k ->
+         if Hashtbl.mem bound k then None else Hashtbl.find_opt used k)
+
+(* Transitive capture: [Domain.spawn (fun () -> run_range lo hi)] shares
+   whatever [run_range] itself captures.  [bindings] maps locally-bound
+   idents to their defining expressions; functions among the free idents
+   are chased (bounded depth, cycle-safe) and their own free idents are
+   folded in. *)
+let free_idents_transitive ~bindings expr =
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec go depth e =
+    if depth <= 4 then
+      List.iter
+        (fun (u : use) ->
+          let k = Ident.unique_name u.id in
+          if not (Hashtbl.mem seen k) then begin
+            Hashtbl.replace seen k ();
+            acc := u :: !acc;
+            (* Chase function values: their captures are shared too. *)
+            match (Types.get_desc u.ty, Hashtbl.find_opt bindings k) with
+            | Types.Tarrow _, Some rhs -> go (depth + 1) rhs
+            | _ -> ()
+          end)
+        (free_idents e)
+  in
+  go 0 expr;
+  List.rev !acc

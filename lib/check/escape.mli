@@ -1,0 +1,41 @@
+(** Capture analysis for the R1 domain-race rule and shared
+    type/path-structure helpers for the typed rule engine. *)
+
+val norm_name : string -> string
+(** Collapse dune's wrapped-library mangling: ["Pim_util__Prng.t"] reads
+    as ["Pim_util.Prng.t"]. *)
+
+val path_name : Path.t -> string
+(** [norm_name] of [Path.name]. *)
+
+val last2 : string -> (string * string) option
+(** Last two dotted components: ["Stdlib.Hashtbl.iter"] gives
+    [Some ("Hashtbl", "iter")]. *)
+
+val has_suffix : suffix:string -> string -> bool
+(** Dotted-suffix test: ["Pim_util.Prng.t"] has suffix ["Prng.t"]. *)
+
+type verdict = Safe | Unsafe of string
+
+val classify : ?depth:int -> Types.type_expr -> verdict
+(** Is a value of this type dangerous to share across domains
+    unsynchronized?  [Unsafe what] carries a human description.
+    [Atomic.t]/[Mutex.t] wrappers are safe; [Prng.t array] is the
+    sanctioned per-trial split-stream fan-out pattern and is safe, while
+    a bare shared [Prng.t] is not. *)
+
+type use = { id : Ident.t; ty : Types.type_expr; loc : Location.t }
+
+val free_idents : Typedtree.expression -> use list
+(** Locally-named idents used but not bound inside the expression, in
+    first-use order.  Exact under shadowing (typedtree idents are
+    uniquely stamped). *)
+
+val free_idents_transitive :
+  bindings:(string, Typedtree.expression) Hashtbl.t ->
+  Typedtree.expression ->
+  use list
+(** [free_idents] closed over function values: a free ident whose type
+    is an arrow and whose defining expression is in [bindings] (keyed by
+    [Ident.unique_name]) contributes its own free idents, to bounded
+    depth. *)

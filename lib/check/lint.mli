@@ -1,6 +1,12 @@
-(** pimlint driver: parse every [.ml] under the given paths with
-    compiler-libs, run {!Rules}, apply {!Suppress} comments and the
-    {!Baseline} ratchet, and report. *)
+(** pimlint driver: run one analysis tier over the given paths, apply
+    {!Suppress} comments (flagging stale ones as S1) and the {!Baseline}
+    ratchet, and report as text or JSON.
+
+    The untyped tier parses [.ml] sources with compiler-libs and runs
+    {!Rules}; the typed tier loads [.cmt] files via {!Cmt_load} and runs
+    {!Typed_rules}. *)
+
+type tier_mode = Untyped_tier | Typed_tier
 
 type options = {
   baseline_path : string option;
@@ -8,19 +14,27 @@ type options = {
   warn_rules : Finding.rule list;
       (** Rules demoted to warnings: reported but never fatal. *)
   quiet : bool;
+  tier : tier_mode;
+  build_root : string option;
+      (** Typed tier: directory holding the built tree with [.cmt]
+          files.  Defaults to [_build/default] when present, else [.]. *)
+  json : bool;  (** Emit one "pimlint/1" JSON object instead of text. *)
 }
 
 val default_options : options
+(** Untyped tier, no baseline, text output. *)
 
 exception Parse_failure of string * string
 
 val lint_file : string -> Finding.t list
-(** Findings for one file, suppression comments applied, no baseline.
+(** Untyped findings for one file, suppression comments applied (stale
+    ones reported as S1), no baseline.
     @raise Parse_failure when the file does not parse. *)
 
-val lint_paths : string list -> Finding.t list
-(** [lint_file] over every [.ml] under the paths, in sorted file order. *)
+val lint_paths : ?options:options -> string list -> Finding.t list
+(** The active tier's findings over every [.ml] under the paths, in
+    canonical order, suppressions applied, no baseline. *)
 
 val run : ?options:options -> paths:string list -> Format.formatter -> int
 (** Full run; returns the intended process exit code (0 clean or fully
-    baselined, 1 non-baselined errors, 2 parse/IO failure). *)
+    baselined, 1 non-baselined errors, 2 parse/IO/cmt failure). *)

@@ -1,12 +1,10 @@
-(* Suppression comments: [(* pimlint: allow D1 *)] (several rules may be
-   listed, comma- or space-separated).  A suppression covers findings on
-   its own line and on the following line, so both trailing and
-   line-above placement work:
-
-     Hashtbl.iter f tbl (* pimlint: allow D1 *)
-
-     (* pimlint: allow D1 — in-place update, order-independent *)
-     Hashtbl.iter f tbl
+(* Suppression comments: the marker below followed by one or more rule
+   ids (comma- or space-separated), e.g. [(* pimlint: allow <IDS> — why *)]
+   with [<IDS>] replaced by ids such as [D1, T1].  A suppression covers
+   findings on its own line and on the following line, so both trailing
+   and line-above placement work (see RULES.md for worked examples —
+   spelled out here they would themselves trip the S1 stale-suppression
+   check).
 
    Matching is purely lexical on the source text, which keeps it robust
    to how the parser attaches (or drops) comments. *)
@@ -62,7 +60,21 @@ let scan_lines lines =
     lines;
   t
 
-let scan_file path =
+(* Origins keep the comment's own line (not the covered span), so the
+   driver can report a suppression whose rule no longer fires (S1). *)
+let origins_of_lines lines =
+  List.concat
+    (List.mapi
+       (fun i line ->
+         match index_of_sub line marker with
+         | None -> []
+         | Some idx -> (
+           match rules_after line idx with
+           | [] -> []
+           | rules -> [ (i + 1, List.rev rules) ]))
+       lines)
+
+let read_lines path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
@@ -72,7 +84,11 @@ let scan_file path =
         | line -> go (line :: acc)
         | exception End_of_file -> List.rev acc
       in
-      scan_lines (go []))
+      go [])
+
+let scan_file path = scan_lines (read_lines path)
+
+let origins_file path = origins_of_lines (read_lines path)
 
 let allows t ~line rule =
   match Hashtbl.find_opt t line with

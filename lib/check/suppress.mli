@@ -1,5 +1,5 @@
-(** Lexical scan for [(* pimlint: allow <rule>... *)] suppression
-    comments.  A suppression covers its own line and the next one. *)
+(** Lexical scan for [pimlint: allow <rule>...] suppression comments.
+    A suppression covers its own line and the next one. *)
 
 type t
 
@@ -9,3 +9,10 @@ val scan_lines : string list -> t
 (** Exposed for tests: line numbering starts at 1. *)
 
 val allows : t -> line:int -> Finding.rule -> bool
+
+val origins_file : string -> (int * Finding.rule list) list
+(** The suppression comments themselves: (comment line, rules listed),
+    in file order.  Used by the driver's S1 stale-suppression check. *)
+
+val origins_of_lines : string list -> (int * Finding.rule list) list
+(** Exposed for tests. *)

@@ -1,0 +1,525 @@
+(* Typed rule engine: runs on the Typedtree out of [.cmt] files, where
+   identifier paths are resolved and every expression carries its
+   inferred type.  Rule families (see RULES.md):
+
+   - R1: mutable state reachable both from the spawning scope and from a
+     closure passed to [Domain.spawn] / a [Domain_pool], without an
+     [Atomic]/[Mutex] wrapper.  The fig2a per-trial split-PRNG pattern
+     ([Prng.t array], slot-disjoint results arrays) is recognized as
+     safe (see {!Escape.classify}).
+   - L1: soft-state timer lifecycle in modules that define [restart]
+     (the protocol routers): a one-shot [Engine.schedule]/[schedule_at]
+     whose handle is dropped can never be cancelled by [restart], so its
+     callback must re-validate state when it fires (head [if]/[match]
+     guard); periodic [Engine.every] timers with dropped handles are the
+     sanctioned module-lifetime pattern only inside the module
+     constructor ([create]/[deploy]/...).
+   - L2: every Hashtbl state-table field that is inserted into must have
+     a matching remove/reset/sweep site in the same module — soft state
+     must be able to expire.
+   - L3 (cross-file): every [Packet.payload] extension constructor must
+     be matched somewhere in the linted tree; an extension nobody
+     pattern-matches is silently swallowed by the catch-alls that
+     extensible dispatch forces.
+   - T1: the typed re-implementation of D1/H1 — unordered Hashtbl
+     traversals and polymorphic compare — which sees through module
+     aliases ([module H = Hashtbl]) and functor instantiations
+     ([Hashtbl.Make]) and does not false-positive on locally shadowed
+     [compare]. *)
+
+open Typedtree
+
+type state = {
+  file : string;
+  mutable findings : Finding.t list;
+  (* Module aliases/instances that behave like Stdlib.Hashtbl: ident
+     unique-name -> `Alias (resolved prefix) or `Hashtbl_instance. *)
+  hashtbl_mods : (string, unit) Hashtbl.t;
+  sanctioned : (int, unit) Hashtbl.t;  (* loc_start.pos_cnum of blessed folds *)
+  bindings : (string, expression) Hashtbl.t;  (* ident -> defining expr, for R1 *)
+  mutable has_restart : bool;
+  mutable top_binding : string;  (* name of the enclosing top-level let *)
+  inserts : (string, Location.t) Hashtbl.t;  (* L2: field -> first insert site *)
+  clears : (string, unit) Hashtbl.t;  (* L2: fields with a remove/reset site *)
+}
+
+let report st rule loc message =
+  let pos = loc.Location.loc_start in
+  st.findings <-
+    {
+      Finding.rule;
+      file = st.file;
+      line = pos.Lexing.pos_lnum;
+      col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+      message;
+    }
+    :: st.findings
+
+let loc_key e = e.exp_loc.Location.loc_start.Lexing.pos_cnum
+
+(* Resolved dotted name of an identifier head, with local Hashtbl module
+   aliases/instances rewritten to a canonical "Hashtbl.<fn>" spelling so
+   the member tests below see through them. *)
+let head_name st e =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> (
+    let n = Escape.path_name p in
+    match p with
+    | Path.Pdot (Path.Pident m, fn) when Hashtbl.mem st.hashtbl_mods (Ident.unique_name m)
+      ->
+      Some ("Hashtbl." ^ fn)
+    | _ -> Some n)
+  | _ -> None
+
+let rec app_head st e =
+  match e.exp_desc with
+  | Texp_ident _ -> head_name st e
+  | Texp_apply (f, _) -> app_head st f
+  | _ -> None
+
+let is_member ~m ~fns name =
+  match Escape.last2 name with
+  | Some (prev, last) -> prev = m && List.mem last fns
+  | None -> false
+
+let is_hashtbl_member fns name = is_member ~m:"Hashtbl" ~fns name
+
+let is_sort_head name =
+  match Escape.last2 name with
+  | Some (_, ("sort" | "sort_uniq" | "stable_sort" | "fast_sort")) -> true
+  | _ -> false
+
+let positional_args args =
+  List.filter_map (fun (_, a) -> a) args
+
+let is_hashtbl_fold_app st e =
+  match e.exp_desc with
+  | Texp_apply (f, _) -> (
+    match app_head st f with Some n -> is_hashtbl_member [ "fold" ] n | None -> false)
+  | _ -> false
+
+(* Does this fold body build a list?  Same signature as the untyped
+   tier: an element-order-dependent result escaping the traversal. *)
+let builds_list body =
+  let found = ref false in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.exp_desc with
+          | Texp_construct (_, cd, _) when cd.Types.cstr_name = "::" -> found := true
+          | Texp_apply (f, _) -> (
+            match f.exp_desc with
+            | Texp_ident (p, _, _) -> (
+              let n = Escape.path_name p in
+              match Escape.last2 n with
+              | Some (_, ("@" | "append" | "rev_append" | "cons")) -> found := true
+              | _ -> ())
+            | _ -> ())
+          | _ -> ());
+          Tast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it body;
+  !found
+
+(* Innermost body of a (possibly curried) function literal; [None] when
+   the expression is not a function or dispatches over several cases
+   (a [function] match counts as a guard on its own). *)
+let rec lambda_body e =
+  match e.exp_desc with
+  | Texp_function { cases = [ c ]; _ } -> (
+    match lambda_body c.c_rhs with Some inner -> Some inner | None -> Some c.c_rhs)
+  | _ -> None
+
+let is_multicase_function e =
+  match e.exp_desc with Texp_function { cases = _ :: _ :: _; _ } -> true | _ -> false
+
+(* {1 L1 helpers} *)
+
+let timer_kind name =
+  match Escape.last2 name with
+  | Some ("Engine", ("schedule" | "schedule_at")) -> Some `One_shot
+  | Some ("Engine", "every") -> Some `Periodic
+  | _ -> None
+
+let constructor_names =
+  [ "create"; "deploy"; "make"; "launch"; "attach"; "init"; "spawn"; "start" ]
+
+let in_constructor st =
+  List.exists
+    (fun n ->
+      st.top_binding = n
+      || (String.length st.top_binding > String.length n
+         && String.sub st.top_binding 0 (String.length n) = n))
+    constructor_names
+
+(* A dropped-handle one-shot timer is tolerable iff its callback begins
+   by re-validating state: a head [if]/[match] (or a multi-case
+   [function]) that can observe the post-restart world before acting. *)
+let callback_guarded cb =
+  if is_multicase_function cb then true
+  else
+    match lambda_body cb with
+    | Some body -> (
+      match body.exp_desc with
+      | Texp_ifthenelse _ | Texp_match _ -> true
+      | _ -> false)
+    | None -> false
+
+let check_discarded_timer st loc inner =
+  match inner.exp_desc with
+  | Texp_apply (f, args) -> (
+    match Option.bind (head_name st f) (fun n -> timer_kind n) with
+    | None -> ()
+    | Some kind when st.has_restart -> (
+      match kind with
+      | `Periodic ->
+        if not (in_constructor st) then
+          report st Finding.L1 loc
+            (Printf.sprintf
+               "periodic timer armed in '%s' with a dropped handle: restart cannot \
+                cancel it; arm module-lifetime timers in the constructor or keep the \
+                handle and cancel it in restart"
+               st.top_binding)
+      | `One_shot ->
+        let cb =
+          List.rev (positional_args args)
+          |> List.find_opt (fun a ->
+                 match a.exp_desc with Texp_function _ -> true | _ -> false)
+        in
+        let guarded = match cb with Some cb -> callback_guarded cb | None -> false in
+        if not guarded then
+          report st Finding.L1 loc
+            "one-shot timer with a dropped handle: restart cannot cancel it and the \
+             callback does not re-validate state first (head if/match guard); store \
+             the handle and cancel it in restart, or begin the callback with a \
+             staleness check")
+    | Some _ -> ())
+  | _ -> ()
+
+(* {1 L2 helpers} *)
+
+let hashtbl_insert_fns = [ "replace"; "add" ]
+let hashtbl_clear_fns = [ "remove"; "reset"; "clear"; "filter_map_inplace" ]
+
+let record_table_op st name args =
+  let field_of_first_arg () =
+    match positional_args args with
+    | first :: _ -> (
+      match first.exp_desc with
+      | Texp_field (_, _, ld) -> Some (ld.Types.lbl_name, first.exp_loc)
+      | _ -> None)
+    | [] -> None
+  in
+  if is_hashtbl_member hashtbl_insert_fns name then (
+    match field_of_first_arg () with
+    | Some (fld, loc) ->
+      if not (Hashtbl.mem st.inserts fld) then Hashtbl.replace st.inserts fld loc
+    | None -> ())
+  else if is_hashtbl_member hashtbl_clear_fns name then (
+    match field_of_first_arg () with
+    | Some (fld, _) -> Hashtbl.replace st.clears fld ()
+    | None -> ())
+
+(* {1 R1} *)
+
+let is_spawn name =
+  match Escape.last2 name with
+  | Some ("Domain", "spawn") -> true
+  | Some ("Domain_pool", _) | Some ("Thread", "create") -> true
+  | _ -> false
+
+let closure_mentions_mutex cb =
+  let found = ref false in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.exp_desc with
+          | Texp_ident (p, _, _) -> (
+            match Escape.last2 (Escape.path_name p) with
+            | Some ("Mutex", _) -> found := true
+            | _ -> ())
+          | _ -> ());
+          Tast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it cb;
+  !found
+
+let check_spawn st args =
+  match positional_args args with
+  | cb :: _ when not (closure_mentions_mutex cb) ->
+    List.iter
+      (fun (u : Escape.use) ->
+        match Escape.classify u.ty with
+        | Escape.Safe -> ()
+        | Escape.Unsafe what ->
+          report st Finding.R1 u.loc
+            (Printf.sprintf
+               "'%s' (%s) is shared between the spawning scope and this Domain.spawn \
+                closure without an Atomic/Mutex wrapper; wrap it, hand each domain its \
+                own copy, or use the per-trial split-PRNG / disjoint-slot pattern"
+               (Ident.name u.id) what))
+      (Escape.free_idents_transitive ~bindings:st.bindings cb)
+  | _ -> ()
+
+(* {1 T1} *)
+
+let check_t1_ident st e =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) ->
+    let n = Escape.path_name p in
+    if n = "Stdlib.compare" then
+      report st Finding.T1 e.exp_loc
+        "polymorphic compare (resolves to Stdlib.compare here): use the type's own \
+         compare (Int.compare, Addr.compare, ...)"
+  | _ -> ()
+
+let check_t1_apply st e f args =
+  match head_name st f with
+  | Some n when is_hashtbl_member [ "iter" ] n ->
+    report st Finding.T1 e.exp_loc
+      "Hashtbl.iter visits entries in nondeterministic order; iterate a sorted \
+       snapshot instead"
+  | Some n when is_hashtbl_member [ "to_seq"; "to_seq_keys"; "to_seq_values" ] n ->
+    report st Finding.T1 e.exp_loc
+      "Hashtbl.to_seq* yields entries in nondeterministic order; sort the result"
+  | Some n when is_hashtbl_member [ "fold" ] n ->
+    if not (Hashtbl.mem st.sanctioned (loc_key e)) then (
+      match positional_args args with
+      | fn :: _ ->
+        let body_builds =
+          match lambda_body fn with
+          | Some body -> builds_list body
+          | None -> is_multicase_function fn && builds_list fn
+        in
+        if body_builds then
+          report st Finding.T1 e.exp_loc
+            "Hashtbl.fold accumulates a list in nondeterministic order; pipe the \
+             result into a canonical List.sort"
+      | [] -> ())
+  | _ -> ()
+
+(* Pre-mark folds whose immediate consumer canonically sorts them, as in
+   the untyped tier: [fold |> List.sort f] or [List.sort f (fold ...)].
+   The typechecker rewrites [x |> f a] into the plain (curried) nested
+   application before the Typedtree exists, so both source spellings
+   land here as "a sort application with the fold among its arguments";
+   [app_head] walks through the currying. *)
+let mark_sanctioned st e =
+  match e.exp_desc with
+  | Texp_apply (f, args) -> (
+    match app_head st f with
+    | Some n when is_sort_head n ->
+      List.iter
+        (fun a -> if is_hashtbl_fold_app st a then Hashtbl.replace st.sanctioned (loc_key a) ())
+        (positional_args args)
+    | _ -> ())
+  | _ -> ()
+
+(* {1 Structure pre-passes} *)
+
+let scan_structure st str =
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      structure_item =
+        (fun self item ->
+          (match item.str_desc with
+          | Tstr_value (_, vbs) ->
+            List.iter
+              (fun vb ->
+                match vb.vb_pat.pat_desc with
+                | Tpat_var (id, _) ->
+                  if Ident.name id = "restart" then st.has_restart <- true
+                | _ -> ())
+              vbs
+          | Tstr_module mb -> (
+            let target =
+              let rec resolve me =
+                match me.mod_desc with
+                | Tmod_ident (p, _) -> Some (`Ident (Escape.path_name p))
+                | Tmod_apply (f, _, _) -> (
+                  match resolve f with
+                  | Some (`Ident n) when Escape.has_suffix ~suffix:"Hashtbl.Make" n ->
+                    Some `Instance
+                  | _ -> None)
+                | Tmod_constraint (me, _, _, _) -> resolve me
+                | _ -> None
+              in
+              resolve mb.mb_expr
+            in
+            match (mb.mb_id, target) with
+            | Some id, Some (`Ident n) when Escape.has_suffix ~suffix:"Hashtbl" n ->
+              Hashtbl.replace st.hashtbl_mods (Ident.unique_name id) ()
+            | Some id, Some `Instance ->
+              Hashtbl.replace st.hashtbl_mods (Ident.unique_name id) ()
+            | _ -> ())
+          | _ -> ());
+          Tast_iterator.default_iterator.structure_item self item);
+      value_binding =
+        (fun self vb ->
+          (match vb.vb_pat.pat_desc with
+          | Tpat_var (id, _) -> Hashtbl.replace st.bindings (Ident.unique_name id) vb.vb_expr
+          | _ -> ());
+          Tast_iterator.default_iterator.value_binding self vb);
+    }
+  in
+  it.structure it str
+
+(* {1 Main per-file pass} *)
+
+let make_iterator st =
+  let default = Tast_iterator.default_iterator in
+  let expr self e =
+    mark_sanctioned st e;
+    check_t1_ident st e;
+    (match e.exp_desc with
+    | Texp_apply (f, args) -> (
+      check_t1_apply st e f args;
+      (match head_name st f with
+      | Some n ->
+        record_table_op st n args;
+        if is_spawn n then check_spawn st args;
+        (* [ignore (Engine.schedule ...)]: the timer handle is dropped. *)
+        if n = "Stdlib.ignore" || n = "ignore" then (
+          match positional_args args with
+          | [ inner ] -> check_discarded_timer st e.exp_loc inner
+          | _ -> ())
+      | None -> ()))
+    | Texp_let (_, vbs, _) ->
+      List.iter
+        (fun vb ->
+          match vb.vb_pat.pat_desc with
+          | Tpat_any -> check_discarded_timer st vb.vb_loc vb.vb_expr
+          | _ -> ())
+        vbs
+    | _ -> ());
+    default.expr self e
+  in
+  let structure_item self item =
+    (match item.str_desc with
+    | Tstr_value (_, vbs) -> (
+      match vbs with
+      | { vb_pat = { pat_desc = Tpat_var (id, _); _ }; _ } :: _ ->
+        st.top_binding <- Ident.name id
+      | _ -> st.top_binding <- "")
+    | _ -> st.top_binding <- "");
+    default.structure_item self item
+  in
+  { default with Tast_iterator.expr; structure_item }
+
+let finish_l2 st =
+  let missing =
+    Hashtbl.fold
+      (fun fld loc acc -> if Hashtbl.mem st.clears fld then acc else (fld, loc) :: acc)
+      st.inserts []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (fld, loc) ->
+      report st Finding.L2 loc
+        (Printf.sprintf
+           "state table '%s' accumulates entries but this module has no remove/reset/\
+            sweep site for it; soft state must be able to expire (wire it into sweep \
+            or restart)"
+           fld))
+    missing
+
+let check_file ~file str =
+  let st =
+    {
+      file;
+      findings = [];
+      hashtbl_mods = Hashtbl.create 4;
+      sanctioned = Hashtbl.create 16;
+      bindings = Hashtbl.create 64;
+      has_restart = false;
+      top_binding = "";
+      inserts = Hashtbl.create 8;
+      clears = Hashtbl.create 8;
+    }
+  in
+  scan_structure st str;
+  let it = make_iterator st in
+  it.Tast_iterator.structure it str;
+  if st.has_restart then finish_l2 st;
+  st.findings
+
+(* {1 L3: cross-file payload-constructor coverage} *)
+
+type l3_decl = { ctor : string; decl_file : string; decl_loc : Location.t }
+
+let payload_extensions str ~file =
+  let decls = ref [] in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      structure_item =
+        (fun self item ->
+          (match item.str_desc with
+          | Tstr_typext te ->
+            if Escape.last2 (Escape.path_name te.tyext_path) = Some ("Packet", "payload")
+            then
+              List.iter
+                (fun ec ->
+                  decls :=
+                    { ctor = ec.ext_name.txt; decl_file = file; decl_loc = ec.ext_loc }
+                    :: !decls)
+                te.tyext_constructors
+          | _ -> ());
+          Tast_iterator.default_iterator.structure_item self item);
+    }
+  in
+  it.structure it str;
+  List.rev !decls
+
+let matched_constructors str acc =
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      pat =
+        (fun (type k) self (p : k general_pattern) ->
+          (match p.pat_desc with
+          | Tpat_construct (_, cd, _, _) -> Hashtbl.replace acc cd.Types.cstr_name ()
+          | _ -> ());
+          Tast_iterator.default_iterator.pat self p);
+    }
+  in
+  it.structure it str
+
+let check_l3 files =
+  let matched : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun (_, str) -> matched_constructors str matched) files;
+  List.concat_map
+    (fun (file, str) ->
+      payload_extensions str ~file
+      |> List.filter_map (fun d ->
+             if Hashtbl.mem matched d.ctor then None
+             else
+               let pos = d.decl_loc.Location.loc_start in
+               Some
+                 {
+                   Finding.rule = Finding.L3;
+                   file = d.decl_file;
+                   line = pos.Lexing.pos_lnum;
+                   col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+                   message =
+                     Printf.sprintf
+                       "payload constructor %s is never pattern-matched anywhere in the \
+                        linted tree: every receiver swallows it through the catch-all \
+                        that extensible dispatch forces; handle it (or drop it)"
+                       d.ctor;
+                 }))
+    files
+
+(* {1 Batch entry point} *)
+
+let check_batch files =
+  let per_file = List.concat_map (fun (file, str) -> check_file ~file str) files in
+  let l3 = check_l3 files in
+  List.sort Finding.compare (per_file @ l3)

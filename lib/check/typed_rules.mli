@@ -1,0 +1,12 @@
+(** The typed analysis tier: R1 (domain races), L1–L3 (soft-state
+    lifecycle conformance) and T1 (typed determinism — the D1/H1
+    re-implementation that sees through aliases and functor instances
+    and is exact under shadowing).  Runs on Typedtree structures loaded
+    from [.cmt] files by {!Cmt_load}. *)
+
+val check_file : file:string -> Typedtree.structure -> Finding.t list
+(** Per-file rules (R1, L1, L2, T1) for one compilation unit.  Sorted. *)
+
+val check_batch : (string * Typedtree.structure) list -> Finding.t list
+(** All typed rules over a batch of units, including the cross-file L3
+    payload-constructor coverage check.  Sorted by [Finding.compare]. *)

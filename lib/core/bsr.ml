@@ -339,7 +339,11 @@ let restart t node =
   Hashtbl.reset a.view;
   Hashtbl.reset a.table;
   Hashtbl.reset a.cache;
-  Hashtbl.reset a.last
+  Hashtbl.reset a.last;
+  (* The watch list is soft state too: a rebooted router forgets which
+     groups it was asked about until the next lookup re-registers them
+     (mapping-change announcements resume from there). *)
+  Hashtbl.reset a.watch
 
 let deploy ?(config = default) ?trace ?(forward_unicast = false) ~net ~ribs ~roles () =
   let eng = Net.engine net in

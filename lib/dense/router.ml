@@ -318,12 +318,11 @@ let handle_prune t ~iface (b : Message.body) =
       let asked_at = now t in
       ignore
         (Engine.schedule t.eng ~after:t.cfg.prune_override_window (fun () ->
-             let overridden =
-               match Hashtbl.find_opt (aux t e).last_join iface with
-               | Some tj -> tj >= asked_at
-               | None -> false
-             in
-             if not overridden then apply_prune t e ~iface ~holdtime:b.Message.holdtime))
+             (* Re-validate on fire: a join heard during the window (or
+                state wiped by a reboot) cancels the cut. *)
+             match Hashtbl.find_opt (aux t e).last_join iface with
+             | Some tj when tj >= asked_at -> ()
+             | _ -> apply_prune t e ~iface ~holdtime:b.Message.holdtime))
     end
     else apply_prune t e ~iface ~holdtime:b.Message.holdtime
 
@@ -518,6 +517,17 @@ let sweep t =
         |> List.sort Int.compare
       in
       List.iter (Hashtbl.remove a.pruned) dead;
+      (* A join timestamp can only override prunes whose window is still
+         open, i.e. callbacks firing by [tj + prune_override_window];
+         strictly past that it is dead soft state. *)
+      let stale_joins =
+        Hashtbl.fold
+          (fun i tj acc ->
+            if tj +. t.cfg.prune_override_window < n then i :: acc else acc)
+          a.last_join []
+        |> List.sort Int.compare
+      in
+      List.iter (Hashtbl.remove a.last_join) stale_joins;
       if e.Fwd.expires < n then begin
         ev t
           (Event.Entry_expire

@@ -120,7 +120,7 @@ let handle_update t st ~iface ~origin entries =
 let sweep t st =
   let now = Engine.now t.eng in
   let changed = ref false in
-  (* pimlint: allow D1 — in-place metric poisoning, order-independent *)
+  (* pimlint: allow D1, T1 — in-place metric poisoning, order-independent *)
   Hashtbl.iter
     (fun dst r ->
       if dst <> st.u && r.metric < t.cfg.infinity_metric && r.expiry < now then begin
@@ -143,7 +143,7 @@ let on_link_event t st lid =
     let up = Net.link_up t.net lid in
     let changed = ref false in
     if not up then
-      (* pimlint: allow D1 — in-place metric poisoning; order-independent. *)
+      (* pimlint: allow D1, T1 — in-place metric poisoning; order-independent. *)
       Hashtbl.iter
         (fun dst r ->
           if dst <> st.u && r.via_iface = iface && r.metric < t.cfg.infinity_metric then begin

@@ -100,11 +100,11 @@ let linked n = n.abs >= 0
    agree with the total order. *)
 let[@inline] node_le a b =
   a.time < b.time
-  || (a.time = b.time && a.seq <= b.seq) (* pimlint: allow H2 — exact tie on schedule times *)
+  || (a.time = b.time && a.seq <= b.seq)
 
 let[@inline] node_lt a b =
   a.time < b.time
-  || (a.time = b.time && a.seq < b.seq) (* pimlint: allow H2 — exact tie on schedule times *)
+  || (a.time = b.time && a.seq < b.seq)
 
 (* Link [n] into its bucket, keeping the list sorted by [(time, seq)].
    Scanning starts at the tail: monotone workloads (same-timestamp bursts,
@@ -237,7 +237,7 @@ let add t ~time ~seq v =
     let tl = head.prev in
     if
       time > tl.time
-      || (time = tl.time && seq >= tl.seq) (* pimlint: allow H2 — exact tie on schedule times *)
+      || (time = tl.time && seq >= tl.seq)
     then begin
       (* append after the tail: the common case for monotone workloads *)
       let n = { time; seq; value = v; prev = tl; next = head; abs; wheel = t } in

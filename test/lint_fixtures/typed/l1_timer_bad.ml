@@ -1,0 +1,27 @@
+(* L1 fixture: a restartable module arming timers with dropped handles —
+   an unguarded one-shot and a per-entry periodic outside the
+   constructor.  Neither can be cancelled by [restart]. *)
+
+module Engine = struct
+  type t = { mutable timers : (float * (unit -> unit)) list }
+  type handle = int
+
+  let schedule (t : t) ~after (f : unit -> unit) : handle =
+    t.timers <- (after, f) :: t.timers;
+    List.length t.timers
+
+  let every (t : t) ~period (f : unit -> unit) : handle =
+    t.timers <- (period, f) :: t.timers;
+    List.length t.timers
+end
+
+type t = { eng : Engine.t; tbl : (int, float) Hashtbl.t }
+
+let restart t = Hashtbl.reset t.tbl
+
+let handle_join t i =
+  Hashtbl.replace t.tbl i 0.;
+  ignore (Engine.schedule t.eng ~after:1.0 (fun () -> Hashtbl.remove t.tbl i))
+
+let arm_refresh t i =
+  ignore (Engine.every t.eng ~period:30.0 (fun () -> Hashtbl.replace t.tbl i 1.))

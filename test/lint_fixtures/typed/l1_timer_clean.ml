@@ -1,0 +1,39 @@
+(* L1 fixture, clean: the three sanctioned timer shapes — a
+   module-lifetime periodic armed in the constructor, a one-shot whose
+   callback re-validates state before acting, and a kept handle. *)
+
+module Engine = struct
+  type t = { mutable timers : (float * (unit -> unit)) list }
+  type handle = int
+
+  let schedule (t : t) ~after (f : unit -> unit) : handle =
+    t.timers <- (after, f) :: t.timers;
+    List.length t.timers
+
+  let every (t : t) ~period (f : unit -> unit) : handle =
+    t.timers <- (period, f) :: t.timers;
+    List.length t.timers
+
+  let cancel (_ : t) (_ : handle) = ()
+end
+
+type t = { eng : Engine.t; tbl : (int, float) Hashtbl.t; mutable sweeper : Engine.handle }
+
+let restart t =
+  Hashtbl.reset t.tbl;
+  Engine.cancel t.eng t.sweeper
+
+let create eng =
+  let t = { eng; tbl = Hashtbl.create 8; sweeper = 0 } in
+  ignore (Engine.every eng ~period:30.0 (fun () -> Hashtbl.reset t.tbl));
+  t
+
+let handle_join t i =
+  Hashtbl.replace t.tbl i 0.;
+  ignore
+    (Engine.schedule t.eng ~after:1.0 (fun () ->
+         match Hashtbl.find_opt t.tbl i with
+         | Some _ -> Hashtbl.remove t.tbl i
+         | None -> ()))
+
+let arm_sweeper t = t.sweeper <- Engine.every t.eng ~period:5.0 (fun () -> Hashtbl.reset t.tbl)

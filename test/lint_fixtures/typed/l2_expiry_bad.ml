@@ -1,0 +1,10 @@
+(* L2 fixture: [members] is inserted into but nothing in the module ever
+   removes, resets or sweeps it; [joins] has an expiry path and is
+   clean. *)
+
+type t = { members : (int, float) Hashtbl.t; joins : (int, float) Hashtbl.t }
+
+let restart t = Hashtbl.reset t.joins
+let record t i now = Hashtbl.replace t.members i now
+let join t i now = Hashtbl.replace t.joins i now
+let lookup t i = Hashtbl.find_opt t.members i

@@ -1,0 +1,12 @@
+(* L3 fixture: [Pong] extends the payload but no receiver ever matches
+   it — the catch-all that extensible dispatch forces swallows it. *)
+
+module Packet = struct
+  type payload = ..
+end
+
+type Packet.payload +=
+  | Ping
+  | Pong
+
+let describe (p : Packet.payload) = match p with Ping -> "ping" | _ -> "other"

@@ -1,0 +1,14 @@
+(* R1 fixture: module-level mutable state captured by a Domain.spawn
+   closure while still visible to the spawning scope — two races. *)
+
+let total = ref 0
+let cache : (int, int) Hashtbl.t = Hashtbl.create 8
+
+let run () =
+  let d =
+    Domain.spawn (fun () ->
+        incr total;
+        Hashtbl.replace cache 1 1)
+  in
+  Domain.join d;
+  !total + Hashtbl.length cache

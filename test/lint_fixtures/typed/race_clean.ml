@@ -1,0 +1,17 @@
+(* R1 fixture, clean: the sanctioned fan-out shapes — an Atomic counter,
+   one split PRNG stream per trial, and slot-disjoint writes into an
+   immutable-element results array. *)
+
+let run () =
+  let counter = Atomic.make 0 in
+  let streams = Array.init 4 (fun i -> Pim_util.Prng.create i) in
+  let results = Array.make 4 None in
+  let doms =
+    List.init 4 (fun k ->
+        Domain.spawn (fun () ->
+            Atomic.incr counter;
+            let p = streams.(k) in
+            results.(k) <- Some (Pim_util.Prng.int p 10)))
+  in
+  List.iter Domain.join doms;
+  (Atomic.get counter, results)

@@ -1,0 +1,19 @@
+(* T1 fixture: Hashtbl-order escapes through a functor instance and a
+   plain fold, plus a polymorphic compare — all resolved through typed
+   paths.  [sorted_keys] is the sanctioned fold-into-sort shape. *)
+
+module Tbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash x = x land max_int
+end)
+
+let dump (t : int Tbl.t) = Tbl.iter (fun _ _ -> ()) t
+
+let keys (t : (int, int) Hashtbl.t) = Hashtbl.fold (fun k _ acc -> k :: acc) t []
+
+let sorted_keys (t : (int, int) Hashtbl.t) =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort Int.compare
+
+let cmp_any a b = Stdlib.compare a b

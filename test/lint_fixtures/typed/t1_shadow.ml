@@ -1,0 +1,10 @@
+(* T1 fixture for typed exactness: the untyped tier's file-level
+   "defines compare" exemption silences BOTH uses below; the typed tier
+   resolves each ident — the shadowed one is clean, the bare one really
+   is Stdlib.compare. *)
+
+let sorted xs =
+  let compare = Int.compare in
+  List.sort compare xs
+
+let poly_sorted ys = List.sort compare ys

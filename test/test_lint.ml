@@ -1,8 +1,10 @@
-(* Tests for pimlint (Pim_check): golden fixtures per rule, suppression
-   comments, the baseline ratchet, driver exit codes — and the
-   determinism digests the linter exists to protect: double runs of the
-   chaos harness and the Figure-2 experiments must produce identical
-   reports. *)
+(* Tests for pimlint (Pim_check): golden fixtures per rule for both
+   analysis tiers (untyped Parsetree rules and the typed .cmt-based
+   R1/L1-L3/T1 rules), suppression comments and stale-suppression
+   detection, the tier-tagged baseline ratchet, driver exit codes and
+   JSON output — and the determinism digests the linter exists to
+   protect: double runs of the chaos harness and the Figure-2
+   experiments must produce identical reports. *)
 
 module Finding = Pim_check.Finding
 module Suppress = Pim_check.Suppress
@@ -10,8 +12,17 @@ module Baseline = Pim_check.Baseline
 module Lint = Pim_check.Lint
 
 let fixture name = Filename.concat "lint_fixtures" name
+let typed_fixture name = Filename.concat (fixture "typed") name
+
+let typed_options =
+  { Lint.default_options with tier = Lint.Typed_tier; build_root = Some "." }
 
 let rules_of findings = List.map (fun f -> Finding.rule_id f.Finding.rule) findings
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
 
 (* {1 Golden fixtures: positive, suppressed, clean per rule} *)
 
@@ -43,6 +54,43 @@ let fixture_tests =
   |> List.map (fun (name, expected) ->
          Alcotest.test_case name `Quick (check_fixture name expected))
 
+(* {1 Typed-tier golden fixtures}
+
+   The fixtures are compiled as a (warnings-off) library, so their .cmt
+   files are in ./lint_fixtures/typed/.typed_fixtures.objs relative to
+   the test's working directory — hence [build_root = "."]. *)
+
+let check_typed_fixture name expected () =
+  let findings = Lint.lint_paths ~options:typed_options [ typed_fixture name ] in
+  Alcotest.(check (list string)) name expected (rules_of findings)
+
+let typed_fixture_tests =
+  [
+    ("race_bad.ml", [ "R1"; "R1" ]);
+    ("race_clean.ml", []);
+    ("l1_timer_bad.ml", [ "L1"; "L1" ]);
+    ("l1_timer_clean.ml", []);
+    ("l2_expiry_bad.ml", [ "L2" ]);
+    ("l2_expiry_suppressed.ml", []);
+    ("l3_dispatch_bad.ml", [ "L3" ]);
+    ("t1_bad.ml", [ "T1"; "T1"; "T1" ]);
+    ("t1_shadow.ml", [ "T1" ]);
+  ]
+  |> List.map (fun (name, expected) ->
+         Alcotest.test_case name `Quick (check_typed_fixture name expected))
+
+(* The point of re-implementing H1 on typed ASTs: the untyped tier's
+   file-level "defines compare" exemption silences every bare [compare]
+   in t1_shadow.ml, missing the genuinely polymorphic one; the typed
+   tier resolves each use. *)
+let test_typed_exactness () =
+  let untyped = Lint.lint_file (typed_fixture "t1_shadow.ml") in
+  Alcotest.(check (list string)) "untyped tier exempts the whole file" []
+    (rules_of untyped);
+  let typed = Lint.lint_paths ~options:typed_options [ typed_fixture "t1_shadow.ml" ] in
+  Alcotest.(check (list string)) "typed tier catches the real one" [ "T1" ]
+    (rules_of typed)
+
 (* {1 Suppression comments} *)
 
 let test_suppress_scan () =
@@ -61,6 +109,35 @@ let test_suppress_scan () =
   Alcotest.(check bool) "other rule" false (Suppress.allows t ~line:3 Finding.H3);
   Alcotest.(check bool) "two lines below" false (Suppress.allows t ~line:4 Finding.D1);
   Alcotest.(check bool) "unrelated line" false (Suppress.allows t ~line:1 Finding.D1)
+
+(* A suppression whose rule no longer fires on its covered lines is
+   itself reported (S1, warning severity): rotten allows silently mask
+   future regressions. *)
+let test_stale_suppression () =
+  let path = Filename.temp_file "pimlint_stale" ".ml" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_bin path (fun oc ->
+          output_string oc "(* pimlint: allow H4 — nothing left to excuse *)\nlet x = 1\n");
+      let fs = Lint.lint_file path in
+      Alcotest.(check (list string)) "stale allow flagged" [ "S1" ] (rules_of fs);
+      Alcotest.(check bool) "S1 is warn-level" true
+        (List.for_all
+           (fun f -> Finding.default_severity f.Finding.rule = Finding.Warning)
+           fs));
+  (* A live suppression is not flagged. *)
+  let live = Lint.lint_file (fixture "h3_suppressed.ml") in
+  Alcotest.(check (list string)) "live allow silent" [] (rules_of live);
+  (* An other-tier allow is invisible to this tier's run: never stale. *)
+  let path = Filename.temp_file "pimlint_tier" ".ml" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_bin path (fun oc ->
+          output_string oc "(* pimlint: allow T1 — typed-tier concern *)\nlet x = 1\n");
+      Alcotest.(check (list string)) "typed allow not judged untyped" []
+        (rules_of (Lint.lint_file path)))
 
 (* {1 Baseline ratchet} *)
 
@@ -95,6 +172,35 @@ let test_baseline_roundtrip () =
       Alcotest.(check int) "D2 c.ml" 1 (Baseline.allowance reloaded ~rule:Finding.D2 ~file:"c.ml");
       Alcotest.(check int) "absent" 0 (Baseline.allowance reloaded ~rule:Finding.D1 ~file:"b.ml"))
 
+(* One baseline file serves both tiers: rows are tier-tagged, and a
+   one-tier rewrite (merge_tier) must not drop the other tier's rows. *)
+let test_baseline_tiers () =
+  let untyped = [ finding Finding.D1 "a.ml" 3 ] in
+  let typed_rows = [ finding Finding.T1 "a.ml" 5; finding Finding.L2 "b.ml" 2 ] in
+  let path = Filename.temp_file "pimlint_tiers" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Baseline.save (Baseline.counts (untyped @ typed_rows)) path;
+      let loaded = Baseline.load path in
+      Alcotest.(check int) "untyped row" 1
+        (Baseline.allowance loaded ~rule:Finding.D1 ~file:"a.ml");
+      Alcotest.(check int) "typed row" 1
+        (Baseline.allowance loaded ~rule:Finding.T1 ~file:"a.ml");
+      (* Rewrite only the typed tier, dropping its b.ml row. *)
+      let merged =
+        Baseline.merge_tier ~tier:Finding.Typed ~existing:loaded
+          (Baseline.counts [ finding Finding.T1 "a.ml" 5 ])
+      in
+      Baseline.save merged path;
+      let reloaded = Baseline.load path in
+      Alcotest.(check int) "untyped row survives the typed rewrite" 1
+        (Baseline.allowance reloaded ~rule:Finding.D1 ~file:"a.ml");
+      Alcotest.(check int) "typed row kept" 1
+        (Baseline.allowance reloaded ~rule:Finding.T1 ~file:"a.ml");
+      Alcotest.(check int) "dropped typed row gone" 0
+        (Baseline.allowance reloaded ~rule:Finding.L2 ~file:"b.ml"))
+
 (* {1 Driver exit codes} *)
 
 let null_formatter =
@@ -105,6 +211,34 @@ let test_exit_codes () =
   Alcotest.(check int) "violating fixture exits 1" 1 (run [ fixture "d1_bad.ml" ]);
   Alcotest.(check int) "clean fixture exits 0" 0 (run [ fixture "d1_clean.ml" ]);
   Alcotest.(check int) "suppressed fixture exits 0" 0 (run [ fixture "h3_suppressed.ml" ])
+
+let test_typed_exit_codes () =
+  let run paths = Lint.run ~options:typed_options ~paths null_formatter in
+  Alcotest.(check int) "violating typed fixture exits 1" 1
+    (run [ typed_fixture "l1_timer_bad.ml" ]);
+  Alcotest.(check int) "clean typed fixture exits 0" 0
+    (run [ typed_fixture "race_clean.ml" ]);
+  (* A source with no .cmt is an environment error, not a finding. *)
+  let path = Filename.temp_file "pimlint_nocmt" ".ml" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_bin path (fun oc -> output_string oc "let x = 1\n");
+      Alcotest.(check int) "missing cmt exits 2" 2 (run [ path ]))
+
+let test_json_output () =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  let options = { Lint.default_options with json = true } in
+  let code = Lint.run ~options ~paths:[ fixture "d1_bad.ml" ] ppf in
+  Format.pp_print_flush ppf ();
+  let s = Buffer.contents buf in
+  Alcotest.(check int) "violations still exit 1" 1 code;
+  Alcotest.(check bool) "schema tag" true (contains s {|"schema":"pimlint/1"|});
+  Alcotest.(check bool) "tier tag" true (contains s {|"tier":"untyped"|});
+  Alcotest.(check bool) "rule tag" true (contains s {|"rule":"D1"|});
+  Alcotest.(check bool) "severity tag" true (contains s {|"severity":"error"|});
+  Alcotest.(check bool) "file tag" true (contains s "d1_bad.ml")
 
 (* {1 Determinism digests} *)
 
@@ -163,14 +297,26 @@ let () =
   Alcotest.run "pim_lint"
     [
       ("fixtures", fixture_tests);
+      ("typed-fixtures", typed_fixture_tests);
+      ( "typed-exactness",
+        [ Alcotest.test_case "shadowed compare" `Quick test_typed_exactness ] );
       ( "suppress",
-        [ Alcotest.test_case "scan and cover" `Quick test_suppress_scan ] );
+        [
+          Alcotest.test_case "scan and cover" `Quick test_suppress_scan;
+          Alcotest.test_case "stale detection (S1)" `Quick test_stale_suppression;
+        ] );
       ( "baseline",
         [
           Alcotest.test_case "ratchet" `Quick test_baseline_ratchet;
           Alcotest.test_case "save/load roundtrip" `Quick test_baseline_roundtrip;
+          Alcotest.test_case "tier-tagged rows and merge" `Quick test_baseline_tiers;
         ] );
-      ("driver", [ Alcotest.test_case "exit codes" `Quick test_exit_codes ]);
+      ( "driver",
+        [
+          Alcotest.test_case "exit codes" `Quick test_exit_codes;
+          Alcotest.test_case "typed exit codes" `Quick test_typed_exit_codes;
+          Alcotest.test_case "json output" `Quick test_json_output;
+        ] );
       ( "determinism",
         [
           Alcotest.test_case "chaos double run" `Quick test_chaos_digest;
