@@ -388,6 +388,35 @@ let json_subjects () =
     ignore
       (Sys.opaque_identity (Pim_exp.Failover.run_strategies ~strategies:[ "bsr" ] ~seed ()))
   in
+  (* E11 workload models at wide-area scale: the full generate-and-replay
+     pipeline (schedule generation, one shared 32-group deployment over
+     2000 routers, windowed instruments) — the heaviest end-to-end paths
+     the workload harness exercises. *)
+  let workload_zap_2000n () =
+    let spec =
+      {
+        (Pim_exp.Workload.default_spec Pim_exp.Workload.Zap) with
+        Pim_exp.Workload.nodes = 2000;
+        groups = 32;
+        scale = 300;
+        duration = 20.;
+        seed;
+      }
+    in
+    ignore (Sys.opaque_identity (Pim_exp.Workload.run spec))
+  in
+  let workload_flashcrowd () =
+    let spec =
+      {
+        (Pim_exp.Workload.default_spec Pim_exp.Workload.Flashcrowd) with
+        Pim_exp.Workload.nodes = 2000;
+        scale = 1000;
+        duration = 20.;
+        seed;
+      }
+    in
+    ignore (Sys.opaque_identity (Pim_exp.Workload.run spec))
+  in
   [
     ("fig2a-trial", fig2a_trial);
     ("fig2a-degree-sweep-20", fig2a_degree_sweep);
@@ -399,6 +428,8 @@ let json_subjects () =
     ("engine-1M-events", engine_events_1m);
     ("failover-election", failover_election);
     ("transit-stub-2000n", transit_stub_2000n);
+    ("workload-zap-2000n", workload_zap_2000n);
+    ("workload-flashcrowd", workload_flashcrowd);
   ]
 
 let run_json path =
@@ -431,7 +462,7 @@ let run_json path =
   Format.printf "# wrote %s@." path;
   (* Companion metrics baseline: one deterministic end-to-end PIM scenario
      (the seed-1994 qcheck derivation), its whole metrics registry as
-     pim-metrics/1 JSON.  Unlike the wall-clock numbers above this file is
+     pim-metrics/2 JSON.  Unlike the wall-clock numbers above this file is
      byte-identical across runs, so a diff against the committed copy
      flags any behavioural (not performance) change. *)
   let metrics_path = Filename.concat (Filename.dirname path) "METRICS_fig2.json" in
@@ -465,7 +496,14 @@ let run_json path =
    engine-1k-events) trips the gate with margin.  Allocation per run is
    deterministic and gets a tight bound. *)
 
-let check_subjects = [ "engine-1k-events"; "engine-1M-events"; "failover-election" ]
+let check_subjects =
+  [
+    "engine-1k-events";
+    "engine-1M-events";
+    "failover-election";
+    "workload-zap-2000n";
+    "workload-flashcrowd";
+  ]
 
 let wall_budget = 3.0
 

@@ -584,7 +584,7 @@ let trace_record_cmd =
   in
   let metrics =
     Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
-         ~doc:"Also write the metrics registry as JSON (schema pim-metrics/1).")
+         ~doc:"Also write the metrics registry as JSON (schema pim-metrics/2).")
   in
   Cmd.v
     (Cmd.info "record"
@@ -916,6 +916,117 @@ let lint_cmd =
           analyzes the Typedtree out of dune's .cmt output.  See lib/check/RULES.md.")
     Term.(const run $ baseline $ update $ typed $ build_root $ json $ paths)
 
+let workload_cmd =
+  let run seed model protocol rp_strategy nodes groups scale skew duration window domains json
+      schedule_only =
+    let model =
+      match Pim_exp.Workload.model_of_string model with
+      | Some m -> m
+      | None ->
+        Format.eprintf "workload: unknown model %S (use zap, flashcrowd, zipf or diurnal)@."
+          model;
+        exit 2
+    in
+    let rp_strategy =
+      match Pim_exp.Workload.rp_strategy_of_string rp_strategy with
+      | Some s -> s
+      | None ->
+        Format.eprintf
+          "workload: unknown RP strategy %S (use single, sharded[:k] or bsr[:k])@." rp_strategy;
+        exit 2
+    in
+    let d = Pim_exp.Workload.default_spec model in
+    let pick opt dflt = Option.value opt ~default:dflt in
+    let spec =
+      {
+        d with
+        Pim_exp.Workload.protocol;
+        rp_strategy;
+        seed;
+        nodes = pick nodes d.Pim_exp.Workload.nodes;
+        groups = pick groups d.Pim_exp.Workload.groups;
+        scale = pick scale d.Pim_exp.Workload.scale;
+        skew = pick skew d.Pim_exp.Workload.skew;
+        duration = pick duration d.Pim_exp.Workload.duration;
+        window = pick window d.Pim_exp.Workload.window;
+        domains;
+      }
+    in
+    if schedule_only then
+      print_string (Pim_exp.Workload.render_schedule (Pim_exp.Workload.generate spec))
+    else begin
+      let report = Pim_exp.Workload.run spec in
+      Format.printf "%a@?" Pim_exp.Workload.pp_report report;
+      (* Deliberately NOT the [with_json_output] envelope: the workload
+         JSON carries no wall-clock or allocation fields, so two runs with
+         the same seed are byte-identical (the determinism gate CI checks). *)
+      Option.iter
+        (fun path ->
+          Pim_util.Json.to_file path (Pim_exp.Workload.report_to_json report);
+          Format.eprintf "# wrote %s@." path)
+        json;
+      if List.exists (fun (_, n) -> n > 0) report.Pim_exp.Workload.oracle then exit 1
+    end
+  in
+  let model =
+    Arg.(
+      value & opt string "zap"
+      & info [ "model" ] ~docv:"MODEL"
+          ~doc:
+            "Workload model: $(b,zap) (IPTV channel zapping with correlated storms), \
+             $(b,flashcrowd) (one group grows 10 to full scale in seconds), $(b,zipf) \
+             (stationary Zipf-popularity churn), or $(b,diurnal) (sin^2 day-curve load).")
+  in
+  let protocol =
+    Arg.(
+      value
+      & opt (protocol_conv ~allow_dvmrp:true) Pim_exp.Stack.Pim_sm
+      & info [ "protocol" ] ~docv:"PROTOCOL" ~doc:"Protocol stack to replay the schedule on.")
+  in
+  let rp_strategy =
+    Arg.(
+      value & opt string "sharded:4"
+      & info [ "rp" ] ~docv:"STRATEGY"
+          ~doc:
+            "RP placement: $(b,single) (one backbone RP for every group), $(b,sharded:k) \
+             (groups round-robined over k static backbone RPs), or $(b,bsr:k) (the same \
+             sharding installed through a live BSR election).  PIM-SM and CBT only.")
+  in
+  let opt_int names doc = Arg.(value & opt (some int) None & info names ~doc) in
+  let opt_float names doc = Arg.(value & opt (some float) None & info names ~doc) in
+  let nodes = opt_int [ "nodes" ] "Routers (transit-stub topology is sized to this)." in
+  let groups = opt_int [ "groups" ] "Multicast groups (channels)." in
+  let scale = opt_int [ "scale" ] "Total receivers (many per router; IGMP-style aggregation)." in
+  let skew = opt_float [ "skew" ] "Zipf exponent for group popularity." in
+  let duration = opt_float [ "duration" ] "Virtual seconds of schedule." in
+  let window = opt_float [ "window" ] "Tumbling measurement-window width (virtual seconds)." in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:
+            "Write the pim-workload/1 report as JSON to $(docv).  No wall-clock fields: \
+             byte-identical across runs with the same seed.")
+  in
+  let schedule_only =
+    Arg.(
+      value & flag
+      & info [ "schedule-only" ]
+          ~doc:"Print the generated schedule in canonical text form and exit (no replay).")
+  in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:
+         "E11: replay a production-shaped membership/traffic schedule (IPTV zapping, flash \
+          crowd, Zipf churn, diurnal load) against one protocol stack and report per-window \
+          join latency, SPT-switchover storms, per-RP load concentration and control \
+          overhead.  Deterministic per seed; $(b,--domains) parallelizes schedule \
+          generation without changing a byte of output.")
+    Term.(
+      const run $ seed_arg $ model $ protocol $ rp_strategy $ nodes $ groups $ scale $ skew
+      $ duration $ window $ domains_arg $ json $ schedule_only)
+
 let () =
   let info =
     Cmd.info "pimsim" ~version:"1.0.0"
@@ -924,4 +1035,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ fig2a_cmd; fig2b_cmd; fig1_cmd; overhead_cmd; failover_cmd; ablation_cmd; refresh_cmd; groups_cmd; aggregation_cmd; churn_cmd; loss_cmd; chaos_cmd; rp_cmd; trace_cmd; scn_cmd; explore_cmd; all_cmd; lint_cmd ]))
+          [ fig2a_cmd; fig2b_cmd; fig1_cmd; overhead_cmd; failover_cmd; ablation_cmd; refresh_cmd; groups_cmd; aggregation_cmd; churn_cmd; loss_cmd; chaos_cmd; rp_cmd; workload_cmd; trace_cmd; scn_cmd; explore_cmd; all_cmd; lint_cmd ]))

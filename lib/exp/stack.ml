@@ -39,6 +39,7 @@ type t = {
   mroute : Topology.node -> string list;
   max_copies : int;
   residual_floor : int;
+  spt_switches : unit -> int;
 }
 
 (* Settle bounds in virtual seconds under each protocol's fast config:
@@ -199,6 +200,7 @@ let pim_sm_stack ?(rp_election = false) ?(switchover_fallback = true) ?trace ~gr
     mroute = fwd_mroute fib;
     max_copies = 1;
     residual_floor = 0;
+    spt_switches = (fun () -> (Pim_core.Deployment.total_stats d).Pim_core.Router.spt_switches);
   }
 
 let dense_stack ~mode ?trace ~group net =
@@ -221,6 +223,7 @@ let dense_stack ~mode ?trace ~group net =
        on the wire (the flood, then the re-flood after grow-back). *)
     max_copies = 2;
     residual_floor = 0;
+    spt_switches = (fun () -> 0);
   }
 
 let cbt_stack ?trace ~group ~core net =
@@ -251,6 +254,7 @@ let cbt_stack ?trace ~group ~core net =
     max_copies = 1;
     (* The core never tears down its own entry. *)
     residual_floor = 1;
+    spt_switches = (fun () -> 0);
   }
 
 let mospf_stack ?trace ~group net =
@@ -282,6 +286,7 @@ let mospf_stack ?trace ~group net =
           ]);
     max_copies = 1;
     residual_floor = 0;
+    spt_switches = (fun () -> 0);
   }
 
 let create ?(rp = []) ?(rp_election = false) ?(switchover_fallback = true) ?trace ~group ~net
@@ -295,6 +300,195 @@ let create ?(rp = []) ?(rp_election = false) ?(switchover_fallback = true) ?trac
     | core :: _ -> cbt_stack ?trace ~group ~core net
     | [] -> invalid_arg "Stack.create: CBT needs an rp/core node")
   | Mospf -> mospf_stack ?trace ~group net
+
+(* {1 Multi-group deployments}
+
+   One deployment per protocol, one [t] view per group — the form the
+   workload harness needs (dozens of Zipf-popular groups over thousands
+   of routers; a deployment per group would multiply every router's
+   timer load by the group count).  Views share entries/restart/
+   state_checks/spt_switches; join/leave/send_from/mroute act per group,
+   and on_data callbacks fire only for the view's group. *)
+
+let rp_nodes_for ~placement ~protocol group =
+  match List.find_opt (fun (g, _) -> Group.equal g group) placement with
+  | Some (_, (_ :: _ as nodes)) -> nodes
+  | Some (_, []) | None ->
+    invalid_arg
+      (Printf.sprintf "Stack.create_many: %s needs an RP/core placement for group %s"
+         (to_string protocol) (Group.to_string group))
+
+(* Dispatch a local-delivery callback only for the view's group.  Every
+   protocol hands decapsulated multicast data to its local callbacks, so
+   the group is readable off the packet; anything unreadable is not data
+   for this group. *)
+let group_filtered group cb pkt =
+  match Pim_mcast.Mdata.group pkt with
+  | Some g when Group.equal g group -> cb pkt
+  | Some _ | None -> ()
+
+let pim_sm_many ?(rp_election = false) ?(switchover_fallback = true) ?trace ~placement ~groups
+    net =
+  let rps_of g = rp_nodes_for ~placement ~protocol:Pim_sm g in
+  let addr_placement = List.map (fun g -> (g, List.map Addr.router (rps_of g))) groups in
+  let config = { Pim_core.Config.fast with Pim_core.Config.switchover_fallback } in
+  let static = Pim_routing.Static.create net in
+  let ribs = Pim_routing.Static.rib static in
+  let bsr, rp_set =
+    if rp_election then begin
+      (* Every distinct RP node becomes a C-RP advertising exactly the
+         groups it is placed for (Placement.roles groups the placement by
+         node); the first two non-RP routers become C-BSRs.  The whole
+         group-to-RP mapping then emerges from the live election — the
+         multi-RP sharding path the BSR hash mapping implements. *)
+      let n_nodes = Topology.n_nodes (Net.topo net) in
+      let all_rps = List.sort_uniq Int.compare (List.concat_map rps_of groups) in
+      let cbsrs =
+        List.init n_nodes Fun.id
+        |> List.filter (fun u -> not (List.mem u all_rps))
+        |> List.filteri (fun i _ -> i < 2)
+        |> List.mapi (fun i u -> (u, 2 - i))
+      in
+      let roles = Pim_core.Placement.roles addr_placement ~n_nodes ~cbsrs in
+      let b = Pim_core.Bsr.deploy ~config:Pim_core.Bsr.fast ~net ~ribs ~roles () in
+      (Some b, Pim_core.Rp_set.empty)
+    end
+    else (None, Pim_core.Rp_set.of_list addr_placement)
+  in
+  let d = Pim_core.Deployment.create ~config ?bsr ?trace ~net ~ribs ~rp_set () in
+  let router u = Pim_core.Deployment.router d u in
+  let fib u = Pim_core.Router.fib (router u) in
+  let checks = pim_state_checks ~net ~rib:ribs ~fib in
+  let view group =
+    {
+      protocol = Pim_sm;
+      name = to_string Pim_sm;
+      join = (fun m -> Pim_core.Router.join_local (router m) group);
+      leave = (fun m -> Pim_core.Router.leave_local (router m) group);
+      on_data = (fun m cb -> Pim_core.Router.on_local_data (router m) (group_filtered group cb));
+      send_from = (fun u -> Pim_core.Router.send_local_data (router u) ~group ());
+      entries = (fun () -> Pim_core.Deployment.total_entries d);
+      restart =
+        (fun u ->
+          Pim_core.Router.restart (router u);
+          Option.iter (fun b -> Pim_core.Bsr.restart b u) bsr);
+      state_checks = checks;
+      mroute = fwd_mroute fib;
+      max_copies = 1;
+      residual_floor = 0;
+      spt_switches =
+        (fun () -> (Pim_core.Deployment.total_stats d).Pim_core.Router.spt_switches);
+    }
+  in
+  List.map (fun g -> (g, view g)) groups
+
+let dense_many ~mode ?trace ~groups net =
+  let config = { Pim_dense.Router.fast_config with mode; graft = true } in
+  let d = Pim_dense.Router.Deployment.create_static ~config ?trace net in
+  let router u = Pim_dense.Router.Deployment.router d u in
+  let protocol = match mode with Pim_dense.Router.Pim_dm -> Pim_dm | Pim_dense.Router.Dvmrp -> Dvmrp in
+  let view group =
+    {
+      protocol;
+      name = to_string protocol;
+      join = (fun m -> Pim_dense.Router.join_local (router m) group);
+      leave = (fun m -> Pim_dense.Router.leave_local (router m) group);
+      on_data = (fun m cb -> Pim_dense.Router.on_local_data (router m) (group_filtered group cb));
+      send_from = (fun u -> Pim_dense.Router.send_local_data (router u) ~group ());
+      entries = (fun () -> Pim_dense.Router.Deployment.total_entries d);
+      restart = (fun u -> Pim_dense.Router.restart (router u));
+      state_checks = [];
+      mroute = (fun u -> fwd_mroute (fun v -> Pim_dense.Router.fib (router v)) u);
+      max_copies = 2;
+      residual_floor = 0;
+      spt_switches = (fun () -> 0);
+    }
+  in
+  List.map (fun g -> (g, view g)) groups
+
+let cbt_many ?trace ~placement ~groups net =
+  let core_node g = List.hd (rp_nodes_for ~placement ~protocol:Cbt g) in
+  (* Force the lookup for every group up front so a missing placement
+     raises at construction, not mid-run. *)
+  let cores = List.map (fun g -> (g, core_node g)) groups in
+  let config = Pim_cbt.Router.fast_config in
+  let core_of g =
+    List.find_opt (fun (g', _) -> Group.equal g g') cores
+    |> Option.map (fun (_, core) -> Addr.router core)
+  in
+  let d = Pim_cbt.Router.Deployment.create_static ~config ?trace net ~core_of in
+  let router u = Pim_cbt.Router.Deployment.router d u in
+  let view group =
+    {
+      protocol = Cbt;
+      name = to_string Cbt;
+      join = (fun m -> Pim_cbt.Router.join_local (router m) group);
+      leave = (fun m -> Pim_cbt.Router.leave_local (router m) group);
+      on_data = (fun m cb -> Pim_cbt.Router.on_local_data (router m) (group_filtered group cb));
+      send_from = (fun u -> Pim_cbt.Router.send_local_data (router u) ~group ());
+      entries = (fun () -> Pim_cbt.Router.Deployment.total_entries d);
+      restart = (fun u -> Pim_cbt.Router.restart (router u));
+      state_checks = [];
+      mroute =
+        (fun u ->
+          let r = router u in
+          if Pim_cbt.Router.on_tree r group then
+            [
+              Printf.sprintf "%s ifaces={%s}" (Group.to_string group)
+                (Pim_cbt.Router.tree_ifaces r group
+                |> List.sort Int.compare |> List.map string_of_int |> String.concat ",");
+            ]
+          else []);
+      max_copies = 1;
+      residual_floor = 1;
+      spt_switches = (fun () -> 0);
+    }
+  in
+  List.map (fun g -> (g, view g)) groups
+
+let mospf_many ?trace ~groups net =
+  let d = Pim_mospf.Router.Deployment.create ?trace ~lsa_refresh:5. net in
+  let router u = Pim_mospf.Router.Deployment.router d u in
+  let n = Topology.n_nodes (Net.topo net) in
+  let view group =
+    {
+      protocol = Mospf;
+      name = to_string Mospf;
+      join = (fun m -> Pim_mospf.Router.join_local (router m) group);
+      leave = (fun m -> Pim_mospf.Router.leave_local (router m) group);
+      on_data = (fun m cb -> Pim_mospf.Router.on_local_data (router m) (group_filtered group cb));
+      send_from = (fun u -> Pim_mospf.Router.send_local_data (router u) ~group ());
+      entries = (fun () -> Pim_mospf.Router.Deployment.total_membership_entries d);
+      restart = (fun u -> Pim_mospf.Router.restart (router u));
+      state_checks = [];
+      mroute =
+        (fun u ->
+          let known =
+            List.init n Fun.id
+            |> List.filter (fun m -> Pim_mospf.Router.knows_member (router u) m group)
+          in
+          match known with
+          | [] -> []
+          | ms ->
+            [
+              Printf.sprintf "%s members={%s}" (Group.to_string group)
+                (String.concat "," (List.map string_of_int ms));
+            ]);
+      max_copies = 1;
+      residual_floor = 0;
+      spt_switches = (fun () -> 0);
+    }
+  in
+  List.map (fun g -> (g, view g)) groups
+
+let create_many ?(placement = []) ?(rp_election = false) ?(switchover_fallback = true) ?trace
+    ~groups ~net protocol =
+  match protocol with
+  | Pim_sm -> pim_sm_many ~rp_election ~switchover_fallback ?trace ~placement ~groups net
+  | Pim_dm -> dense_many ~mode:Pim_dense.Router.Pim_dm ?trace ~groups net
+  | Dvmrp -> dense_many ~mode:Pim_dense.Router.Dvmrp ?trace ~groups net
+  | Cbt -> cbt_many ?trace ~placement ~groups net
+  | Mospf -> mospf_many ?trace ~groups net
 
 (* {1 State digest} *)
 

@@ -39,6 +39,10 @@ type t = {
           [assert-mroute] matches against *)
   max_copies : int;  (** legitimate per-link copies of one quiet-period packet *)
   residual_floor : int;  (** entries legitimately left after every member leaves *)
+  spt_switches : unit -> int;
+      (** cumulative RP-tree to shortest-path-tree transitions deployment-wide
+          (0 for protocols without the transition — the workload harness
+          reads per-window deltas to count switchover storms) *)
 }
 
 val create :
@@ -60,6 +64,34 @@ val create :
     it off to reproduce the historical bug.
 
     @raise Invalid_argument if a protocol that needs an RP gets none. *)
+
+val create_many :
+  ?placement:(Pim_net.Group.t * Pim_graph.Topology.node list) list ->
+  ?rp_election:bool ->
+  ?switchover_fallback:bool ->
+  ?trace:Pim_sim.Trace.t ->
+  groups:Pim_net.Group.t list ->
+  net:Pim_sim.Net.t ->
+  protocol ->
+  (Pim_net.Group.t * t) list
+(** Deploy [protocol] once and expose a per-group view for every group in
+    [groups] — the multi-group form {!create} lacks (it builds one
+    deployment per call, infeasible for workloads driving dozens of
+    Zipf-popular groups over thousands of routers).  [placement] maps
+    each group to its ordered RP list (PIM-SM) or core (CBT, first
+    element); required for both, ignored by the dense protocols and
+    MOSPF.  [rp_election] (PIM-SM only) turns the whole placement into
+    C-RP roles elected through a live BSR — each distinct RP node
+    advertises the groups it is placed for, reproducing multi-RP
+    sharding via the hash mapping.
+
+    Views share the deployment: [entries], [restart], [state_checks] and
+    [spt_switches] are deployment-wide and identical across views, while
+    [join]/[leave]/[send_from]/[mroute] act per group and [on_data]
+    callbacks only fire for that view's group.
+
+    @raise Invalid_argument if PIM-SM or CBT is given a group without a
+    placement entry. *)
 
 val settle_hint : ?rp_election:bool -> ?hops:int -> protocol -> float
 (** Conservative virtual-seconds bound for the protocol (fast config) to

@@ -24,6 +24,7 @@ type t =
   | Rp_failover of { group : string; from_rp : string option; to_rp : string }
   | Fault_injected of { action : string }
   | Checkpoint_digest of { digest : string }
+  | Window_roll of { index : int; t_start : float; t_end : float }
 
 let tag = function
   | Join _ -> "join"
@@ -44,6 +45,7 @@ let tag = function
   | Rp_failover _ -> "rp-failover"
   | Fault_injected _ -> "fault-injected"
   | Checkpoint_digest _ -> "checkpoint-digest"
+  | Window_roll _ -> "window-roll"
 
 let route_equal a b =
   String.equal a.group b.group
@@ -88,10 +90,14 @@ let equal a b =
     && String.equal x.to_rp y.to_rp
   | Fault_injected x, Fault_injected y -> String.equal x.action y.action
   | Checkpoint_digest x, Checkpoint_digest y -> String.equal x.digest y.digest
+  | Window_roll x, Window_roll y ->
+    Int.equal x.index y.index
+    && Float.equal x.t_start y.t_start
+    && Float.equal x.t_end y.t_end
   | ( ( Join _ | Prune _ | Graft _ | Register _ | Register_stop _ | Spt_switch _ | Assert _
       | Entry_install _ | Entry_expire _ | Pkt_send _ | Pkt_deliver _ | Pkt_drop _
       | Candidate_rp _ | Bsr_elected _ | Rp_mapping _ | Rp_failover _ | Fault_injected _
-      | Checkpoint_digest _ ),
+      | Checkpoint_digest _ | Window_roll _ ),
       _ ) ->
     false
 
@@ -128,6 +134,8 @@ let pp ppf = function
       e.to_rp
   | Fault_injected e -> Format.fprintf ppf "%s" e.action
   | Checkpoint_digest e -> Format.fprintf ppf "%s" e.digest
+  | Window_roll e ->
+    Format.fprintf ppf "window %d [%.3f, %.3f)" e.index e.t_start e.t_end
 
 let route_fields r =
   [
@@ -184,6 +192,13 @@ let to_json ev =
       ]
   | Fault_injected e -> typed "fault-injected" [ ("action", Json.Str e.action) ]
   | Checkpoint_digest e -> typed "checkpoint-digest" [ ("digest", Json.Str e.digest) ]
+  | Window_roll e ->
+    typed "window-roll"
+      [
+        ("index", Json.Int e.index);
+        ("t_start", Json.Float e.t_start);
+        ("t_end", Json.Float e.t_end);
+      ]
 
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
 
@@ -196,6 +211,11 @@ let int_field j name =
   match Option.bind (Json.member name j) Json.to_int with
   | Some i -> Ok i
   | None -> Error (Printf.sprintf "missing or non-integer field %S" name)
+
+let float_field j name =
+  match Option.bind (Json.member name j) Json.to_float with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "missing or non-number field %S" name)
 
 let opt_str_field j name =
   match Json.member name j with
@@ -274,4 +294,9 @@ let of_json j =
   | "checkpoint-digest" ->
     let* digest = str_field j "digest" in
     Ok (Checkpoint_digest { digest })
+  | "window-roll" ->
+    let* index = int_field j "index" in
+    let* t_start = float_field j "t_start" in
+    let* t_end = float_field j "t_end" in
+    Ok (Window_roll { index; t_start; t_end })
   | other -> Error (Printf.sprintf "unknown event type %S" other)

@@ -66,6 +66,12 @@ type t =
       (** Hex digest of the canonical global mroute/forwarding state at a
           scenario checkpoint — the state-equivalence key the explorer
           dedups on (see ARCHITECTURE.md). *)
+  | Window_roll of { index : int; t_start : float; t_end : float }
+      (** A measurement window closed: the workload harness rolled every
+          windowed instrument in the metrics registry (see
+          {!Pim_util.Metrics.roll}), snapshotting per-window rows for
+          virtual time [[t_start, t_end)).  Interleaves the measurement
+          cadence with the protocol events it aggregates. *)
 
 val tag : t -> string
 (** Short event-class keyword, identical to the tag the string trace uses

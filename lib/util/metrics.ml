@@ -19,6 +19,28 @@ type histogram = {
 
 let reservoir_capacity = 1024
 
+(* {1 Windowed instruments}
+
+   Tumbling-window variants: the live accumulator covers the window being
+   measured right now; [roll] closes it into an immutable per-window row
+   and resets the accumulator.  Closed rows are what the workload harness
+   exports — per-window metric rows instead of end-of-run aggregates.
+   Sliding views are sums over the last [k] closed rows.  Memory is
+   bounded by the number of windows (counters) plus the samples of the
+   one open window (histograms — summarized and discarded at roll). *)
+
+type window = { index : int; t_start : float; t_end : float }
+
+type wcounter = {
+  mutable wc_live : int;
+  mutable wc_rows : (window * int) list;  (* newest first *)
+}
+
+type whistogram = {
+  mutable wh_live : float list;  (* newest first; open window only *)
+  mutable wh_rows : (window * Stats.summary) list;  (* newest first *)
+}
+
 type key = {
   name : string;
   labels : (string * string) list;  (* sorted by label name *)
@@ -28,10 +50,15 @@ type instrument =
   | Counter of counter
   | Gauge of gauge
   | Histogram of histogram
+  | Wcounter of wcounter
+  | Whistogram of whistogram
 
-type t = { instruments : (key, instrument) Hashtbl.t }
+type t = {
+  instruments : (key, instrument) Hashtbl.t;
+  mutable n_windows : int;  (* index of the next window [roll] will close *)
+}
 
-let create () = { instruments = Hashtbl.create 64 }
+let create () = { instruments = Hashtbl.create 64; n_windows = 0 }
 
 let compare_label (ka, _) (kb, _) = String.compare ka kb
 
@@ -51,14 +78,16 @@ let counter t ?(labels = []) name =
     ~make:(fun () -> Counter { count = 0 })
     ~cast:(function
       | Counter c -> c
-      | Gauge _ | Histogram _ -> invalid_arg ("Metrics.counter: " ^ name ^ " registered with another type"))
+      | Gauge _ | Histogram _ | Wcounter _ | Whistogram _ ->
+        invalid_arg ("Metrics.counter: " ^ name ^ " registered with another type"))
 
 let gauge t ?(labels = []) name =
   lookup t ~name ~labels
     ~make:(fun () -> Gauge { value = 0. })
     ~cast:(function
       | Gauge g -> g
-      | Counter _ | Histogram _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " registered with another type"))
+      | Counter _ | Histogram _ | Wcounter _ | Whistogram _ ->
+        invalid_arg ("Metrics.gauge: " ^ name ^ " registered with another type"))
 
 let histogram t ?(labels = []) name =
   lookup t ~name ~labels
@@ -75,7 +104,7 @@ let histogram t ?(labels = []) name =
         })
     ~cast:(function
       | Histogram h -> h
-      | Counter _ | Gauge _ ->
+      | Counter _ | Gauge _ | Wcounter _ | Whistogram _ ->
         invalid_arg ("Metrics.histogram: " ^ name ^ " registered with another type"))
 
 let incr ?(by = 1) c = c.count <- c.count + by
@@ -121,6 +150,43 @@ let histogram_summary h =
     p95 = Stats.percentile_sorted arr 95.;
   }
 
+let wcounter t ?(labels = []) name =
+  lookup t ~name ~labels
+    ~make:(fun () -> Wcounter { wc_live = 0; wc_rows = [] })
+    ~cast:(function
+      | Wcounter w -> w
+      | Counter _ | Gauge _ | Histogram _ | Whistogram _ ->
+        invalid_arg ("Metrics.wcounter: " ^ name ^ " registered with another type"))
+
+let whistogram t ?(labels = []) name =
+  lookup t ~name ~labels
+    ~make:(fun () -> Whistogram { wh_live = []; wh_rows = [] })
+    ~cast:(function
+      | Whistogram w -> w
+      | Counter _ | Gauge _ | Histogram _ | Wcounter _ ->
+        invalid_arg ("Metrics.whistogram: " ^ name ^ " registered with another type"))
+
+let wincr ?(by = 1) w = w.wc_live <- w.wc_live + by
+
+let wcounter_live w = w.wc_live
+
+let wcounter_rows w = List.rev w.wc_rows
+
+let wobserve w v = w.wh_live <- v :: w.wh_live
+
+let whistogram_live_count w = List.length w.wh_live
+
+let whistogram_rows w = List.rev w.wh_rows
+
+let sliding_sum ?(last = 1) w =
+  let rec take k acc = function
+    | (_, c) :: rest when k > 0 -> take (k - 1) (acc + c) rest
+    | _ -> acc
+  in
+  take last 0 w.wc_rows
+
+let n_windows t = t.n_windows
+
 let compare_key a b =
   match String.compare a.name b.name with
   | 0 ->
@@ -130,7 +196,45 @@ let compare_key a b =
       a.labels b.labels
   | c -> c
 
+(* Close the open window on every windowed instrument in the registry.
+   Closing is an independent per-instrument mutation, so traversal order
+   cannot influence the result; we still collect-and-sort for uniformity
+   with [to_json] (hashtable order never drives anything). *)
+let roll t ~t_start ~t_end =
+  let w = { index = t.n_windows; t_start; t_end } in
+  t.n_windows <- t.n_windows + 1;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.instruments []
+  |> List.sort (fun (a, _) (b, _) -> compare_key a b)
+  |> List.iter (fun (_, inst) ->
+         match inst with
+         | Counter _ | Gauge _ | Histogram _ -> ()
+         | Wcounter c ->
+           c.wc_rows <- (w, c.wc_live) :: c.wc_rows;
+           c.wc_live <- 0
+         | Whistogram h ->
+           (* wh_live is newest-first; summarize sorts, so order is moot. *)
+           h.wh_rows <- (w, Stats.summarize h.wh_live) :: h.wh_rows;
+           h.wh_live <- []);
+  w
+
 let labels_json labels = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) labels)
+
+let window_fields w tail =
+  ("window", Json.Int w.index)
+  :: ("t_start", Json.Float w.t_start)
+  :: ("t_end", Json.Float w.t_end)
+  :: tail
+
+let summary_fields (s : Stats.summary) =
+  [
+    ("n", Json.Int s.Stats.n);
+    ("mean", Json.Float s.Stats.mean);
+    ("stddev", Json.Float s.Stats.stddev);
+    ("min", Json.Float s.Stats.min);
+    ("max", Json.Float s.Stats.max);
+    ("p50", Json.Float s.Stats.p50);
+    ("p95", Json.Float s.Stats.p95);
+  ]
 
 let to_json t =
   (* Collect then sort: hashtable order must not leak into the export. *)
@@ -139,33 +243,36 @@ let to_json t =
     |> List.sort (fun (a, _) (b, _) -> compare_key a b)
   in
   let entry k fields = Json.Obj (("name", Json.Str k.name) :: ("labels", labels_json k.labels) :: fields) in
-  let counters, gauges, histograms =
+  let counters, gauges, histograms, wcounters, whistograms =
     List.fold_left
-      (fun (cs, gs, hs) (k, inst) ->
+      (fun (cs, gs, hs, wcs, whs) (k, inst) ->
         match inst with
-        | Counter c -> (entry k [ ("value", Json.Int c.count) ] :: cs, gs, hs)
-        | Gauge g -> (cs, entry k [ ("value", Json.Float g.value) ] :: gs, hs)
+        | Counter c -> (entry k [ ("value", Json.Int c.count) ] :: cs, gs, hs, wcs, whs)
+        | Gauge g -> (cs, entry k [ ("value", Json.Float g.value) ] :: gs, hs, wcs, whs)
         | Histogram h ->
-          let s = histogram_summary h in
-          ( cs,
-            gs,
-            entry k
-              [
-                ("n", Json.Int s.Stats.n);
-                ("mean", Json.Float s.Stats.mean);
-                ("stddev", Json.Float s.Stats.stddev);
-                ("min", Json.Float s.Stats.min);
-                ("max", Json.Float s.Stats.max);
-                ("p50", Json.Float s.Stats.p50);
-                ("p95", Json.Float s.Stats.p95);
-              ]
-            :: hs ))
-      ([], [], []) all
+          (cs, gs, entry k (summary_fields (histogram_summary h)) :: hs, wcs, whs)
+        | Wcounter w ->
+          let rows =
+            List.rev_map
+              (fun (win, count) -> Json.Obj (window_fields win [ ("count", Json.Int count) ]))
+              w.wc_rows
+          in
+          (cs, gs, hs, entry k [ ("rows", Json.Arr rows) ] :: wcs, whs)
+        | Whistogram w ->
+          let rows =
+            List.rev_map
+              (fun (win, s) -> Json.Obj (window_fields win (summary_fields s)))
+              w.wh_rows
+          in
+          (cs, gs, hs, wcs, entry k [ ("rows", Json.Arr rows) ] :: whs))
+      ([], [], [], [], []) all
   in
   Json.Obj
     [
-      ("schema", Json.Str "pim-metrics/1");
+      ("schema", Json.Str "pim-metrics/2");
       ("counters", Json.Arr (List.rev counters));
       ("gauges", Json.Arr (List.rev gauges));
       ("histograms", Json.Arr (List.rev histograms));
+      ("wcounters", Json.Arr (List.rev wcounters));
+      ("whistograms", Json.Arr (List.rev whistograms));
     ]

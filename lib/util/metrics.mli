@@ -51,7 +51,68 @@ val histogram_summary : histogram -> Stats.summary
     reservoir (exact while fewer samples than its capacity have been
     observed). *)
 
+(** {1 Windowed instruments}
+
+    Tumbling-window variants for streaming per-window measurements: the
+    live accumulator covers the window currently being measured; {!roll}
+    closes it into an immutable per-window row and resets the
+    accumulator.  The workload harness emits one metric row per window
+    from these instead of end-of-run aggregates.  Memory is bounded by
+    the number of closed windows plus the open window's samples
+    (histogram samples are summarized and discarded at each roll). *)
+
+type window = {
+  index : int;  (** 0-based, registry-wide: assigned by {!roll} order *)
+  t_start : float;
+  t_end : float;
+}
+
+type wcounter
+type whistogram
+
+val wcounter : t -> ?labels:(string * string) list -> string -> wcounter
+(** Look up or create, same idempotence contract as {!counter}. *)
+
+val whistogram : t -> ?labels:(string * string) list -> string -> whistogram
+
+val wincr : ?by:int -> wcounter -> unit
+(** Add [by] (default 1) to the open window. *)
+
+val wobserve : whistogram -> float -> unit
+(** Record a sample into the open window. *)
+
+val roll : t -> t_start:float -> t_end:float -> window
+(** Close the open window on {e every} windowed instrument in the
+    registry: each windowed counter appends a [(window, count)] row and
+    resets to 0; each windowed histogram appends a
+    [(window, Stats.summary)] row ({!Stats.empty_summary} when the
+    window saw no samples) and drops its samples.  Returns the closed
+    window; indices increment per registry, so rows from different
+    instruments align by [index]. *)
+
+val n_windows : t -> int
+(** Windows closed so far ([roll] call count). *)
+
+val wcounter_live : wcounter -> int
+(** The open (not yet rolled) window's count. *)
+
+val wcounter_rows : wcounter -> (window * int) list
+(** Closed rows, oldest first. *)
+
+val sliding_sum : ?last:int -> wcounter -> int
+(** Sum of the most recent [last] (default 1) closed rows — the sliding
+    view over the tumbling windows. *)
+
+val whistogram_live_count : whistogram -> int
+
+val whistogram_rows : whistogram -> (window * Stats.summary) list
+(** Closed rows, oldest first.  Summaries are exact per window (the open
+    window keeps raw samples until the roll). *)
+
 val to_json : t -> Json.t
-(** [{"schema": "pim-metrics/1", "counters": [...], "gauges": [...],
-    "histograms": [...]}], each instrument as an object with [name],
-    [labels] and its value(s); deterministically ordered. *)
+(** [{"schema": "pim-metrics/2", "counters": [...], "gauges": [...],
+    "histograms": [...], "wcounters": [...], "whistograms": [...]}],
+    each instrument as an object with [name], [labels] and its value(s);
+    windowed instruments carry a ["rows"] array with one object per
+    closed window ([window], [t_start], [t_end], then [count] or the
+    summary fields); deterministically ordered. *)

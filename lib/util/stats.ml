@@ -41,21 +41,27 @@ type summary = {
   p95 : float;
 }
 
+let empty_summary = { n = 0; mean = 0.; stddev = 0.; min = 0.; max = 0.; p50 = 0.; p95 = 0. }
+
 (* One sort serves min, max and every percentile; the old code sorted a
-   fresh copy of the samples per percentile call. *)
-let summarize xs =
-  let arr = Array.of_list xs in
-  Array.sort Float.compare arr;
-  let n = Array.length arr in
-  {
-    n;
-    mean = mean xs;
-    stddev = stddev xs;
-    min = (if n = 0 then 0. else arr.(0));
-    max = (if n = 0 then 0. else arr.(n - 1));
-    p50 = percentile_sorted arr 50.;
-    p95 = percentile_sorted arr 95.;
-  }
+   fresh copy of the samples per percentile call.  The empty case returns
+   the typed empty row — workload windows can legitimately hold no
+   samples (diurnal troughs) and must still render a well-formed row. *)
+let summarize = function
+  | [] -> empty_summary
+  | xs ->
+    let arr = Array.of_list xs in
+    Array.sort Float.compare arr;
+    let n = Array.length arr in
+    {
+      n;
+      mean = mean xs;
+      stddev = stddev xs;
+      min = arr.(0);
+      max = arr.(n - 1);
+      p50 = percentile_sorted arr 50.;
+      p95 = percentile_sorted arr 95.;
+    }
 
 let pp_summary ppf s =
   Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p95=%.3f max=%.3f"

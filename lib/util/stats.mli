@@ -32,6 +32,13 @@ type summary = {
   p95 : float;
 }
 
+val empty_summary : summary
+(** The typed all-zero row: [n = 0], every statistic [0.].  What
+    {!summarize} returns on the empty list, so empty measurement windows
+    (e.g. diurnal troughs in the workload harness) render as a
+    well-formed row instead of raising or emitting NaNs. *)
+
 val summarize : float list -> summary
+(** [summarize [] = empty_summary]; never raises. *)
 
 val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Fail (exit 1) on intra-repo markdown links whose target file does not
+# exist.  External links (http/https/mailto) and pure #anchors are
+# skipped; anchors on file links are stripped before the existence
+# check.  Run from anywhere inside the repository; CI runs it on every
+# push (see .github/workflows/ci.yml, "docs" job).
+set -u
+
+cd "$(dirname "$0")/.." || exit 2
+
+fail=0
+# Tracked + untracked markdown, never the build tree (_build has copies).
+files=$(git ls-files -c -o --exclude-standard '*.md')
+
+for f in $files; do
+  dir=$(dirname "$f")
+  # Every inline-link target: the (...) after a ]. Reference-style links
+  # are not used in this repository.
+  targets=$(grep -o '\]([^)]*)' "$f" | sed 's/^](//; s/)$//')
+  while IFS= read -r t; do
+    [ -z "$t" ] && continue
+    case "$t" in
+      http://*|https://*|mailto:*) continue ;;   # external
+      '#'*) continue ;;                          # same-file anchor
+    esac
+    path=${t%%#*}                                # strip anchor
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "dead link: $f -> $t"
+      fail=1
+    fi
+  done <<EOF
+$targets
+EOF
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_links: dead intra-repo markdown links found"
+  exit 1
+fi
+echo "check_links: ok"

@@ -315,6 +315,141 @@ let test_metrics_classification () =
   Pim_exp.Metrics.reset m;
   Alcotest.(check int) "reset" 0 (Pim_exp.Metrics.data_traversals m)
 
+(* {1 E11 workload models} *)
+
+let qcheck_rand () =
+  let seed =
+    match Sys.getenv_opt "QCHECK_SEED" with
+    | Some s -> ( try int_of_string s with _ -> 1994)
+    | None -> 1994
+  in
+  Random.State.make [| seed |]
+
+module Workload = Pim_exp.Workload
+
+let small_spec model =
+  {
+    (Workload.default_spec model) with
+    Workload.nodes = 80;
+    scale = 50;
+    groups = 6;
+    duration = 25.;
+  }
+
+let test_workload_schedule_shape () =
+  let sched = Workload.generate (small_spec Workload.Zap) in
+  let events = Array.to_list sched.Workload.events in
+  Alcotest.(check bool) "non-empty" true (events <> []);
+  (* Sorted by (t, receiver, seq). *)
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+      (a.Workload.t < b.Workload.t
+      || (a.Workload.t = b.Workload.t && (a.Workload.receiver, a.Workload.seq) < (b.Workload.receiver, b.Workload.seq)))
+      && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted" true (sorted events);
+  List.iter
+    (fun ev ->
+      Alcotest.(check bool) "t in range" true (ev.Workload.t >= 0. && ev.Workload.t < 25.);
+      Alcotest.(check bool) "group in range" true (ev.Workload.group >= 0 && ev.Workload.group < 6))
+    events;
+  (* Per receiver, joins and leaves alternate starting with a join. *)
+  let per_rcv = Hashtbl.create 64 in
+  List.iter
+    (fun ev ->
+      let l = Option.value (Hashtbl.find_opt per_rcv ev.Workload.receiver) ~default:[] in
+      Hashtbl.replace per_rcv ev.Workload.receiver (ev.Workload.action :: l))
+    events;
+  Hashtbl.iter
+    (fun r actions ->
+      let rec alternating expect = function
+        | [] -> true
+        | a :: rest -> a = expect && alternating (if expect = Workload.Join then Workload.Leave else Workload.Join) rest
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "receiver %d alternates join/leave" r)
+        true
+        (alternating Workload.Join (List.rev actions)))
+    per_rcv
+
+let test_workload_flashcrowd_ramp () =
+  let spec = { (small_spec Workload.Flashcrowd) with Workload.scale = 400 } in
+  let sched = Workload.generate spec in
+  let crowd_joins =
+    Array.to_list sched.Workload.events
+    |> List.filter (fun ev -> ev.Workload.group = 0 && ev.Workload.action = Workload.Join)
+  in
+  Alcotest.(check bool) "crowd is most of scale" true (List.length crowd_joins > 300);
+  (* The ramp is fast: the bulk of the crowd arrives within ~15 s. *)
+  let late = List.filter (fun ev -> ev.Workload.t > 15.) crowd_joins in
+  Alcotest.(check bool) "ramp finishes early" true (List.length late * 10 < List.length crowd_joins)
+
+let test_workload_run_small () =
+  let rep = Workload.run (small_spec Workload.Zap) in
+  Alcotest.(check int) "five windows" 5 (List.length rep.Workload.rows);
+  Alcotest.(check bool) "joins counted" true (rep.Workload.total_joins > 0);
+  Alcotest.(check bool) "latency observed" true (rep.Workload.join_latency.Pim_util.Stats.n > 0);
+  Alcotest.(check bool) "data flowed" true (rep.Workload.total_data > 0);
+  Alcotest.(check bool) "control flowed" true (rep.Workload.total_control > 0);
+  (* Windowed rows sum to the totals. *)
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 rep.Workload.rows in
+  Alcotest.(check int) "row joins sum" rep.Workload.total_joins (sum (fun r -> r.Workload.joins));
+  Alcotest.(check int) "row data sum" rep.Workload.total_data (sum (fun r -> r.Workload.data_msgs));
+  (* The oracle is clean at end of run. *)
+  List.iter
+    (fun (name, problems) -> Alcotest.(check int) (name ^ " clean") 0 problems)
+    rep.Workload.oracle
+
+let test_workload_json_deterministic () =
+  let spec = small_spec Workload.Zipfian in
+  let a = Pim_util.Json.to_string (Workload.report_to_json (Workload.run spec)) in
+  let b = Pim_util.Json.to_string (Workload.report_to_json (Workload.run spec)) in
+  Alcotest.(check string) "same seed, byte-identical JSON" a b;
+  let c =
+    Pim_util.Json.to_string
+      (Workload.report_to_json (Workload.run { spec with Workload.seed = 7 }))
+  in
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+let test_workload_rp_concentration_contrast () =
+  (* The paper's multi-RP argument: sharding groups over several RPs
+     spreads rendezvous load.  Topology and schedule are identical in
+     both runs, so the single-RP node must bear strictly more
+     adjacent-link load when all eight groups rendezvous at it than when
+     six of them are sharded away to other backbone routers.  (Peak-vs-
+     peak would be confounded by backbone through-traffic, which every
+     transit router carries regardless of RP placement.) *)
+  let spec =
+    { (small_spec Workload.Zap) with Workload.nodes = 200; groups = 8; scale = 50 }
+  in
+  let single = Workload.run { spec with Workload.rp_strategy = Workload.Single } in
+  let sharded = Workload.run { spec with Workload.rp_strategy = Workload.Sharded 4 } in
+  let single_rp, single_load =
+    match single.Workload.rp_loads with [ x ] -> x | _ -> Alcotest.fail "one RP expected"
+  in
+  let same_node_sharded =
+    match List.assoc_opt single_rp sharded.Workload.rp_loads with
+    | Some l -> l
+    | None -> Alcotest.fail "single's RP node not in the sharded RP set"
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "single RP node bears more load (%d > %d)" single_load same_node_sharded)
+    true (single_load > same_node_sharded)
+
+let prop_workload_domains_identity =
+  QCheck.Test.make ~count:6 ~name:"workload schedule identical across domains"
+    QCheck.(
+      pair (int_range 0 3) (int_bound 1000))
+    (fun (model_idx, seed) ->
+      let model = List.nth Workload.models model_idx in
+      let spec =
+        { (small_spec model) with Workload.scale = 30; duration = 15.; seed }
+      in
+      let render domains = Workload.render_schedule (Workload.generate { spec with Workload.domains }) in
+      let reference = render 1 in
+      List.for_all (fun d -> String.equal reference (render d)) [ 2; 3; 8 ])
+
 let () =
   Alcotest.run "pim_exp"
     [
@@ -344,4 +479,14 @@ let () =
       ("churn", [ Alcotest.test_case "dynamic groups (E7)" `Quick test_churn ]);
       ("loss", [ Alcotest.test_case "control-loss robustness (E8)" `Quick test_loss_robustness ]);
       ("metrics", [ Alcotest.test_case "classification" `Quick test_metrics_classification ]);
+      ( "workload",
+        [
+          Alcotest.test_case "schedule shape" `Quick test_workload_schedule_shape;
+          Alcotest.test_case "flashcrowd ramp" `Quick test_workload_flashcrowd_ramp;
+          Alcotest.test_case "small run (E11)" `Quick test_workload_run_small;
+          Alcotest.test_case "json deterministic" `Quick test_workload_json_deterministic;
+          Alcotest.test_case "rp concentration contrast" `Quick
+            test_workload_rp_concentration_contrast;
+          QCheck_alcotest.to_alcotest ~rand:(qcheck_rand ()) prop_workload_domains_identity;
+        ] );
     ]

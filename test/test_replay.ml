@@ -95,6 +95,7 @@ let sample_events =
     Event.Rp_failover { group = "225.0.0.1"; from_rp = None; to_rp = "10.0.0.2" };
     Event.Fault_injected { action = "fail-link 2 3" };
     Event.Checkpoint_digest { digest = "1396106222cf640923e9b2a5b58992f2" };
+    Event.Window_roll { index = 3; t_start = 15.; t_end = 20. };
   ]
 
 let test_event_roundtrip () =

@@ -438,6 +438,87 @@ let test_stats_percentile_sorted () =
   Alcotest.check feq "summary min = p0" (Stats.percentile 0. xs) s.Stats.min;
   Alcotest.check feq "summary max = p100" (Stats.percentile 100. xs) s.Stats.max
 
+(* Windowed metrics *)
+
+let test_metrics_windowed_roll () =
+  let module M = Pim_util.Metrics in
+  let m = M.create () in
+  let c = M.wcounter m "joins" in
+  let h = M.whistogram m "latency" in
+  M.wincr c;
+  M.wincr c ~by:2;
+  M.wobserve h 1.0;
+  M.wobserve h 3.0;
+  Alcotest.(check int) "live count" 3 (M.wcounter_live c);
+  Alcotest.(check int) "live samples" 2 (M.whistogram_live_count h);
+  let w0 = M.roll m ~t_start:0. ~t_end:5. in
+  Alcotest.(check int) "window index" 0 w0.M.index;
+  Alcotest.(check int) "live reset" 0 (M.wcounter_live c);
+  Alcotest.(check int) "samples dropped" 0 (M.whistogram_live_count h);
+  (* Second window left empty on both instruments. *)
+  let _w1 = M.roll m ~t_start:5. ~t_end:10. in
+  Alcotest.(check int) "two windows" 2 (M.n_windows m);
+  (match M.wcounter_rows c with
+  | [ (wa, 3); (wb, 0) ] ->
+    Alcotest.(check int) "row order oldest first" 0 wa.M.index;
+    Alcotest.(check int) "second row" 1 wb.M.index
+  | _ -> Alcotest.fail "expected two counter rows");
+  (match M.whistogram_rows h with
+  | [ (_, s0); (_, s1) ] ->
+    Alcotest.(check int) "first window n" 2 s0.Stats.n;
+    Alcotest.check feq "first window mean" 2. s0.Stats.mean;
+    Alcotest.(check bool) "empty window is the typed empty row" true
+      (s1 = Stats.empty_summary)
+  | _ -> Alcotest.fail "expected two histogram rows")
+
+let test_metrics_sliding_sum () =
+  let module M = Pim_util.Metrics in
+  let m = M.create () in
+  let c = M.wcounter m "msgs" in
+  List.iteri
+    (fun i by ->
+      M.wincr c ~by;
+      ignore (M.roll m ~t_start:(float_of_int i) ~t_end:(float_of_int (i + 1))))
+    [ 10; 20; 30 ];
+  Alcotest.(check int) "last 1" 30 (M.sliding_sum c);
+  Alcotest.(check int) "last 2" 50 (M.sliding_sum ~last:2 c);
+  Alcotest.(check int) "last covers all" 60 (M.sliding_sum ~last:99 c)
+
+let test_metrics_windowed_json () =
+  let module M = Pim_util.Metrics in
+  let m = M.create () in
+  let c = M.wcounter m "joins" in
+  M.wincr c ~by:4;
+  ignore (M.roll m ~t_start:0. ~t_end:5.);
+  let s = Json.to_string (M.to_json m) in
+  let has sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "schema v2" true (has "pim-metrics/2");
+  Alcotest.(check bool) "wcounters section" true (has "\"wcounters\"");
+  Alcotest.(check bool) "whistograms section" true (has "\"whistograms\"");
+  Alcotest.(check bool) "row payload" true (has "\"count\":4")
+
+let test_stats_empty_summary () =
+  (* The documented contract: an empty window yields the typed empty row,
+     not an exception or NaNs — workload windows at diurnal troughs can
+     legitimately hold no samples. *)
+  let s = Stats.summarize [] in
+  Alcotest.(check bool) "summarize [] = empty_summary" true (s = Stats.empty_summary);
+  Alcotest.(check int) "n" 0 Stats.empty_summary.Stats.n;
+  List.iter
+    (fun (name, v) -> Alcotest.check feq name 0. v)
+    [
+      ("mean", Stats.empty_summary.Stats.mean);
+      ("stddev", Stats.empty_summary.Stats.stddev);
+      ("min", Stats.empty_summary.Stats.min);
+      ("max", Stats.empty_summary.Stats.max);
+      ("p50", Stats.empty_summary.Stats.p50);
+      ("p95", Stats.empty_summary.Stats.p95);
+    ]
+
 let test_stats_empty_is_nan_free () =
   List.iter
     (fun (name, v) ->
@@ -564,6 +645,13 @@ let () =
           Alcotest.test_case "percentile edges" `Quick test_stats_percentile_edges;
           Alcotest.test_case "percentile sorted" `Quick test_stats_percentile_sorted;
           Alcotest.test_case "empty inputs NaN-free" `Quick test_stats_empty_is_nan_free;
+          Alcotest.test_case "empty summary row" `Quick test_stats_empty_summary;
           Alcotest.test_case "summary" `Quick test_stats_summary;
+        ] );
+      ( "metrics-windowed",
+        [
+          Alcotest.test_case "roll" `Quick test_metrics_windowed_roll;
+          Alcotest.test_case "sliding sum" `Quick test_metrics_sliding_sum;
+          Alcotest.test_case "json v2" `Quick test_metrics_windowed_json;
         ] );
     ]
